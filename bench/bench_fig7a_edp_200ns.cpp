@@ -1,0 +1,17 @@
+// Fig. 7(a) — energy-delay product of the four power states (Full,
+// PC16-MB8, PC4-MB32, PC4-MB8), DRAM 200 ns, normalised to Full.
+//
+// Paper claims reproduced in the summary table: PC4-MB32 cuts EDP by 44 %
+// on average (up to 66 %) on the limited-scalability group; PC4-MB8 by
+// 52 % (up to 77 %); PC16-MB8 by 13 % (up to 18 %) on the small-working-
+// set group.
+#include "edp_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot3d::bench;
+  const Options opt = parse_options(argc, argv);
+  const EdpSeries s =
+      run_edp_experiment(mot3d::mem::DramPreset::kDdr3_200ns, opt, "Fig. 7(a)");
+  print_fig7a_paper_comparison(s);
+  return 0;
+}

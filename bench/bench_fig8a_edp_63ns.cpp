@@ -1,0 +1,14 @@
+// Fig. 8(a) — EDP of the four power states with on-chip 3-D Wide I/O DRAM
+// (63 ns, JEDEC JESD229 [17]).
+//
+// Paper: "power efficiency resulting from power-gating of cache banks
+// increases as the DRAM access latency decreases ... PC16-MB8 reduces EDP
+// for more benchmark programs when DRAM access latency is 63ns and 42ns."
+#include "edp_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot3d::bench;
+  const Options opt = parse_options(argc, argv);
+  run_edp_experiment(mot3d::mem::DramPreset::kWideIo_63ns, opt, "Fig. 8(a)");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark): throughput of the simulator's hot
+// paths — the MoT transport, the NoC fabric, the cache, and the workload
+// generator.  These guard against performance regressions that would make
+// the figure-level experiments impractically slow.
+#include <benchmark/benchmark.h>
+
+#include "cacti/sram_model.hpp"
+#include "common/rng.hpp"
+#include "core/mot_interconnect.hpp"
+#include "mem/cache.hpp"
+#include "noc/noc_interconnect.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace {
+
+using namespace mot3d;
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  mem::Cache cache(mem::CacheConfig{.capacity_bytes = 64 * 1024,
+                                    .line_bytes = 32,
+                                    .associativity = 8,
+                                    .index_shift = 0});
+  for (Addr a = 0; a < 64 * 1024; a += 32) cache.insert(a, false);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(rng.next_below(64 * 1024), false).hit);
+  }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_MotTickUniformLoad(benchmark::State& state) {
+  const phys::TechnologyParams tech = phys::default_technology();
+  const phys::FloorplanParams fp;
+  const cacti::SramBankConfig bank;
+  const core::MotTimingModel model(tech, fp, bank);
+  core::MotInterconnect icn(model, core::PowerState::full());
+  icn.set_request_sink([](const MemRequest&, Cycle) {});
+  icn.set_response_sink([](const MemResponse&, Cycle) {});
+  Rng rng(2);
+  Cycle t = 0;
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    for (CoreId c = 0; c < 16; ++c) {
+      if (rng.next_double() < 0.1) {
+        MemRequest r{.id = id++, .core = c,
+                     .bank = static_cast<BankId>(rng.next_below(32)),
+                     .addr = 0, .is_write = false, .issue_cycle = t};
+        (void)icn.try_inject_request(r, t);
+      }
+    }
+    icn.tick(t++);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t));
+}
+BENCHMARK(BM_MotTickUniformLoad);
+
+void BM_NocTickMesh3d(benchmark::State& state) {
+  noc::NocConfig cfg;
+  const power::InterconnectPowerModel pm(phys::WireModel(phys::default_technology()));
+  noc::NocInterconnect icn(noc::NocTopology::kTrueMesh3d, cfg, pm);
+  icn.set_request_sink([](const MemRequest&, Cycle) {});
+  icn.set_response_sink([](const MemResponse&, Cycle) {});
+  Rng rng(3);
+  Cycle t = 0;
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    for (CoreId c = 0; c < 16; ++c) {
+      if (rng.next_double() < 0.05) {
+        MemRequest r{.id = id++, .core = c,
+                     .bank = static_cast<BankId>(rng.next_below(32)),
+                     .addr = 0, .is_write = false, .issue_cycle = t};
+        (void)icn.try_inject_request(r, t);
+      }
+    }
+    icn.tick(t++);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t));
+}
+BENCHMARK(BM_NocTickMesh3d);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const workload::AppProfile& app = workload::profile_by_name("fft");
+  workload::Workload w(app, 16, 1.0, 5);
+  auto trace = w.make_trace(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace->next());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_ArbitrationTree16(benchmark::State& state) {
+  core::ArbitrationTree at(16);
+  at.configure(core::PowerState::full());
+  std::vector<bool> req(16, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(at.arbitrate(req));
+  }
+}
+BENCHMARK(BM_ArbitrationTree16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Shared implementation of the Fig. 7(a) / Fig. 8(a,b) EDP experiments:
+// 8 SPLASH-2 apps x 4 power states on the MoT cluster at a given DRAM
+// latency, EDP normalised to Full connection.
+#pragma once
+
+#include <iostream>
+#include <map>
+
+#include "harness.hpp"
+
+namespace mot3d::bench {
+
+struct EdpSeries {
+  /// edp[state][app] normalised to Full.
+  std::map<std::string, std::map<std::string, double>> norm_edp;
+  std::map<std::string, std::map<std::string, double>> norm_time;
+};
+
+inline EdpSeries run_edp_experiment(mem::DramPreset preset, const Options& opt,
+                                    const char* figure_tag) {
+  const auto& states = core::PowerState::paper_states();
+
+  print_header(std::string(figure_tag) + ": EDP per power state, DRAM " +
+                   std::to_string(static_cast<int>(mem::dram_latency_ns(preset))) +
+                   " ns",
+               opt);
+
+  EdpSeries series;
+  TextTable tbl("EDP normalised to Full connection (exec time normalised in parens)");
+  std::vector<std::string> header = {"benchmark"};
+  for (const auto& s : states) header.push_back(s.name());
+  tbl.set_header(header);
+
+  for (const std::string& app : workload::splash2_names()) {
+    double base_edp = 0.0, base_cycles = 0.0;
+    std::vector<std::string> row = {app};
+    for (const core::PowerState& s : states) {
+      const cluster::SimResult r =
+          run_app(app, cluster::Fabric::kMot, s, preset, opt);
+      if (s.name() == "Full") {
+        base_edp = r.edp_pj_s;
+        base_cycles = static_cast<double>(r.cycles);
+      }
+      const double ne = r.edp_pj_s / base_edp;
+      const double nt = static_cast<double>(r.cycles) / base_cycles;
+      series.norm_edp[s.name()][app] = ne;
+      series.norm_time[s.name()][app] = nt;
+      row.push_back(fmt_fixed(ne, 2) + " (" + fmt_fixed(nt, 2) + ")");
+    }
+    tbl.add_row(row);
+  }
+  tbl.print(std::cout);
+
+  // Which apps gain EDP from bank gating at this DRAM speed? (Fig. 8's
+  // question: the list must grow as DRAM gets faster.)
+  std::cout << "apps with EDP reduced by PC16-MB8:";
+  int winners = 0;
+  for (const std::string& app : workload::splash2_names()) {
+    if (series.norm_edp["PC16-MB8"][app] < 1.0) {
+      std::cout << " " << app;
+      ++winners;
+    }
+  }
+  std::cout << "  (" << winners << "/8)\n";
+  return series;
+}
+
+inline void print_fig7a_paper_comparison(const EdpSeries& s) {
+  const std::vector<std::string> limited = {"cholesky", "fft", "volrend", "raytrace"};
+  const std::vector<std::string> small_ws = {"fft", "fmm", "volrend", "raytrace",
+                                             "water_nsquared"};
+  auto redux = [&](const char* state, const std::vector<std::string>& apps) {
+    std::vector<double> r;
+    for (const auto& a : apps) r.push_back(1.0 - s.norm_edp.at(state).at(a));
+    return r;
+  };
+  const auto pc4mb32 = redux("PC4-MB32", limited);
+  const auto pc4mb8 = redux("PC4-MB8", limited);
+  const auto pc16mb8 = redux("PC16-MB8", small_ws);
+
+  TextTable t("Fig. 7(a) paper-claim comparison (EDP reduction vs Full)");
+  t.set_header({"claim", "measured avg", "measured max", "paper avg", "paper max"});
+  t.add_row({"PC4-MB32 on cholesky/fft/volrend/raytrace",
+             fmt_percent(average(pc4mb32)), fmt_percent(max_of(pc4mb32)), "44%",
+             "66%"});
+  t.add_row({"PC4-MB8 on cholesky/fft/volrend/raytrace",
+             fmt_percent(average(pc4mb8)), fmt_percent(max_of(pc4mb8)), "52%",
+             "77%"});
+  t.add_row({"PC16-MB8 on fft/fmm/volrend/raytrace/water",
+             fmt_percent(average(pc16mb8)), fmt_percent(max_of(pc16mb8)), "13%",
+             "18%"});
+  t.print(std::cout);
+}
+
+}  // namespace mot3d::bench

@@ -1,0 +1,74 @@
+// Shared experiment harness for the per-figure bench binaries.
+//
+// Every binary accepts:  --scale=<double>  (fraction of each app's full
+// instruction budget; default 0.5 balances runtime against working-set reuse) and
+// --seed=<u64>.  Results are shape-stable in scale — the paper's absolute
+// testbed numbers are not reproducible by construction (see DESIGN.md), so
+// each bench prints our measured series next to the paper's reported
+// deltas for comparison.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/table.hpp"
+#include "workload/app_profile.hpp"
+
+namespace mot3d::bench {
+
+struct Options {
+  double scale = 0.5;
+  std::uint64_t seed = 42;
+};
+
+/// `default_scale`: the Fig. 7/8 EDP experiments need working-set *reuse*
+/// (scale 0.5); the Fig. 6 interconnect comparison has no capacity story
+/// and uses 0.25 to keep the 32 packet-switched runs quick.
+inline Options parse_options(int argc, char** argv, double default_scale = 0.5) {
+  Options opt;
+  opt.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) opt.scale = std::stod(arg.substr(8));
+    if (arg.rfind("--seed=", 0) == 0) opt.seed = std::stoull(arg.substr(7));
+  }
+  if (const char* env = std::getenv("MOT3D_SCALE")) opt.scale = std::stod(env);
+  return opt;
+}
+
+inline cluster::SimResult run_app(const std::string& app, cluster::Fabric fabric,
+                                  const core::PowerState& state,
+                                  mem::DramPreset dram, const Options& opt) {
+  cluster::ClusterConfig cfg = cluster::make_paper_config(
+      workload::profile_by_name(app), fabric, state, dram, opt.scale, opt.seed);
+  return cluster::Cluster(cfg).run();
+}
+
+inline double average(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+inline double max_of(const std::vector<double>& v) {
+  double m = v.empty() ? 0.0 : v[0];
+  for (double x : v) m = std::max(m, x);
+  return m;
+}
+
+/// "reduction" convention used throughout the paper: 1 - new/old.
+inline double reduction(double baseline, double value) {
+  return baseline == 0.0 ? 0.0 : 1.0 - value / baseline;
+}
+
+inline void print_header(const std::string& what, const Options& opt) {
+  std::cout << "\n### " << what << "  (scale=" << opt.scale << ", seed=" << opt.seed
+            << ")\n";
+}
+
+}  // namespace mot3d::bench

@@ -1,0 +1,47 @@
+// Interconnect comparison: run one application on all four fabrics — the
+// circuit-switched 3-D MoT and the three packet-switched baselines — and
+// contrast latency, execution time and interconnect energy (the paper's
+// Section IV comparison, Fig. 6).
+//
+//   $ ./examples/interconnect_compare [app] [scale]
+#include <iostream>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot3d;
+
+  const std::string app = argc > 1 ? argv[1] : "raytrace";
+  const double scale = argc > 2 ? std::stod(argv[2]) : 0.1;
+
+  TextTable t(app + " on the four 3-D on-chip interconnects (DRAM 200 ns)");
+  t.set_header({"fabric", "cycles", "norm T", "L2 hit lat (cy)", "p95", "icn dyn mJ",
+                "icn leak mW"});
+
+  double base = 0.0;
+  for (cluster::Fabric f :
+       {cluster::Fabric::kTrueMesh3d, cluster::Fabric::kHybridBusMesh,
+        cluster::Fabric::kHybridBusTree, cluster::Fabric::kMot}) {
+    cluster::ClusterConfig cfg = cluster::make_paper_config(
+        workload::profile_by_name(app), f, core::PowerState::full(),
+        mem::DramPreset::kDdr3_200ns, scale);
+    cluster::Cluster c(cfg);
+    const cluster::SimResult r = c.run();
+    if (base == 0.0) base = static_cast<double>(r.cycles);
+    t.add_row({r.fabric, std::to_string(r.cycles),
+               fmt_fixed(static_cast<double>(r.cycles) / base, 3),
+               fmt_fixed(r.l2_hit_latency.mean(), 1),
+               std::to_string(r.l2_hit_latency.quantile(0.95)),
+               fmt_fixed(r.energy.component_pj(power::Component::kInterconnect) * 1e-9,
+                         3),
+               fmt_fixed(c.interconnect().leakage_mw(), 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nThe MoT's combinational routing+arbitration trees give it the\n"
+               "lowest L2 access latency; the Bus-Tree's four shared vertical\n"
+               "buses make it the worst under load (paper Fig. 6).\n";
+  return 0;
+}

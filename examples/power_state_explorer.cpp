@@ -1,0 +1,49 @@
+// Power-state explorer: sweep every (power state x DRAM latency) pair for
+// one application and report execution time, energy split, EDP and the L2
+// behaviour behind them — the decision data a runtime power manager would
+// use to pick a state per application (the paper's central argument).
+//
+//   $ ./examples/power_state_explorer [app] [scale]
+#include <iostream>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot3d;
+
+  const std::string app = argc > 1 ? argv[1] : "cholesky";
+  const double scale = argc > 2 ? std::stod(argv[2]) : 0.1;
+
+  for (auto preset : {mem::DramPreset::kDdr3_200ns, mem::DramPreset::kWideIo_63ns,
+                      mem::DramPreset::kWeis3d_42ns}) {
+    TextTable t(std::string(app) + " @ " + mem::dram_preset_name(preset));
+    t.set_header({"state", "cycles", "norm T", "L2 hit%", "L2 lat", "bank-wait",
+                  "dram rd", "core mJ", "L2 mJ", "icn mJ", "EDP norm"});
+    double base_cycles = 0.0, base_edp = 0.0;
+    for (const core::PowerState& s : core::PowerState::paper_states()) {
+      cluster::ClusterConfig cfg = cluster::make_paper_config(
+          workload::profile_by_name(app), cluster::Fabric::kMot, s, preset, scale);
+      const cluster::SimResult r = cluster::Cluster(cfg).run();
+      if (s.name() == "Full") {
+        base_cycles = static_cast<double>(r.cycles);
+        base_edp = r.edp_pj_s;
+      }
+      t.add_row({s.name(), std::to_string(r.cycles),
+                 fmt_fixed(r.cycles / base_cycles, 2),
+                 fmt_percent(r.l2.hit_rate()),
+                 fmt_fixed(r.l2_hit_latency.mean(), 1),
+                 std::to_string(r.l2.bank_conflict_cycles),
+                 std::to_string(r.dram.reads),
+                 fmt_fixed(r.energy.component_pj(power::Component::kCore) * 1e-9, 2),
+                 fmt_fixed(r.energy.component_pj(power::Component::kL2) * 1e-9, 2),
+                 fmt_fixed(r.energy.component_pj(power::Component::kInterconnect) * 1e-9,
+                           2),
+                 fmt_fixed(r.edp_pj_s / base_edp, 2)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "cluster/advisor.hpp"
+
+#include <sstream>
+
+namespace mot3d::cluster {
+
+StateRecommendation recommend_power_state(const SimResult& profile,
+                                          std::size_t resident_l2_lines,
+                                          std::size_t line_bytes,
+                                          AdvisorThresholds thresholds) {
+  StateRecommendation rec;
+  if (profile.cycles == 0 || profile.cores.empty()) {
+    rec.rationale = "empty profile: stay at Full connection";
+    return rec;
+  }
+
+  // --- parallelism scalability: Amdahl waste observed as barrier spin ---
+  std::uint64_t spin = 0;
+  for (const cpu::CoreStats& c : profile.cores) spin += c.spin_cycles;
+  const double denom =
+      static_cast<double>(profile.cycles) * static_cast<double>(profile.cores.size());
+  rec.spin_ratio = static_cast<double>(spin) / denom;
+
+  // Serial-section signature: thread 0 (which executes the serial phases)
+  // barely spins while the rest wait for it.  Symmetric spin is barrier
+  // jitter — gating cores would not recover it.
+  const double spin0 = static_cast<double>(profile.cores.front().spin_cycles);
+  const double spin_others =
+      profile.cores.size() > 1
+          ? (static_cast<double>(spin) - spin0) /
+                static_cast<double>(profile.cores.size() - 1)
+          : 0.0;
+  const bool asymmetric =
+      spin_others > 0.0 && spin0 < thresholds.spin_asymmetry_limit * spin_others;
+  rec.gate_cores = asymmetric && rec.spin_ratio > thresholds.spin_ratio_limit;
+
+  // --- L2 demand: resident footprint vs. the 8-bank capacity ---
+  rec.resident_l2_bytes = resident_l2_lines * line_bytes;
+  const double mb8_capacity = 8.0 * 64.0 * 1024.0;
+  double fill_limit = thresholds.mb8_fill_limit;
+  const bool fast_dram = profile.dram_latency_ns < 100.0;
+  if (fast_dram) fill_limit *= thresholds.fast_dram_relax;
+  // With 4 cores the private share of the footprint shrinks too; be
+  // slightly more permissive when cores are also gated.
+  if (rec.gate_cores) fill_limit *= 1.25;
+  rec.gate_banks =
+      static_cast<double>(rec.resident_l2_bytes) < fill_limit * mb8_capacity;
+
+  if (rec.gate_cores && rec.gate_banks) {
+    rec.state = core::PowerState::pc4_mb8();
+  } else if (rec.gate_cores) {
+    rec.state = core::PowerState::pc4_mb32();
+  } else if (rec.gate_banks) {
+    rec.state = core::PowerState::pc16_mb8();
+  } else {
+    rec.state = core::PowerState::full();
+  }
+
+  std::ostringstream why;
+  why << "spin_ratio=" << rec.spin_ratio << (asymmetric ? " asymmetric" : " symmetric")
+      << (rec.gate_cores ? " (limited scalability: 4 cores suffice)"
+                         : " (scales: keep 16 cores)")
+      << "; resident L2=" << rec.resident_l2_bytes / 1024 << "KB vs "
+      << static_cast<std::size_t>(fill_limit * mb8_capacity) / 1024
+      << "KB guard"
+      << (rec.gate_banks ? " (fits: gate 24 banks)" : " (demands capacity: keep 32)")
+      << (fast_dram ? " [fast DRAM relaxes the bank guard]" : "");
+  rec.rationale = why.str();
+  return rec;
+}
+
+}  // namespace mot3d::cluster

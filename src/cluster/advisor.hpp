@@ -1,0 +1,68 @@
+// Runtime power-state advisor — the policy side of the paper's conclusion:
+// "the reconfigurable 3-D MoT interconnect capable of power-gating ... is
+// necessary to exploit various programs characteristics such as parallelism
+// scalability and L2 cache demand."
+//
+// Given the observable counters of a profiling interval run at Full
+// connection, the advisor estimates the two characteristics the paper
+// identifies and maps them onto Table I's power states:
+//
+//   * parallelism scalability, from the fraction of core-cycles burnt
+//     spinning at barriers (Amdahl waste): high spin ⇒ drop to 4 cores;
+//   * L2 cache demand, from the resident L2 footprint and the miss traffic
+//     relative to the 8-bank capacity: a comfortably-fitting footprint ⇒
+//     gate 24 banks.
+//
+// The DRAM latency biases the bank decision exactly as Fig. 8 shows: the
+// cheaper a miss, the more aggressively banks can be gated.
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "core/power_state.hpp"
+
+namespace mot3d::cluster {
+
+struct AdvisorThresholds {
+  /// Spin-cycles / (cores * cycles) above which the app is treated as
+  /// scalability-limited (recommend 4 cores).  Measured on the paper's
+  /// workloads at Full connection: the limited group spins 0.78-0.83 of
+  /// all core-cycles (serial phases are further stretched by their memory
+  /// stalls), the scalable group 0.28-0.34 (barrier jitter only).
+  double spin_ratio_limit = 0.50;
+  /// Serial sections have a signature plain load imbalance lacks: thread 0
+  /// keeps working while every other core spins.  Only when thread 0's
+  /// spin time is below this fraction of the others' average is the spin
+  /// attributed to Amdahl serialisation rather than barrier jitter.
+  double spin_asymmetry_limit = 0.60;
+  /// Resident L2 footprint (fraction of the 8-bank capacity) below which
+  /// bank gating is considered safe at 200 ns DRAM.
+  double mb8_fill_limit = 1.00;
+  /// At fast on-chip DRAM (< 100 ns), the footprint guard is relaxed by
+  /// this factor — extra misses are cheap (the Fig. 8 effect).
+  double fast_dram_relax = 2.5;
+};
+
+struct StateRecommendation {
+  core::PowerState state = core::PowerState::full();
+  double spin_ratio = 0.0;          ///< measured Amdahl waste
+  std::size_t resident_l2_bytes = 0;///< measured footprint
+  bool gate_cores = false;
+  bool gate_banks = false;
+  std::string rationale;
+};
+
+/// Analyse a Full-connection profiling run and recommend the Table I state.
+StateRecommendation recommend_power_state(const SimResult& profile,
+                                          std::size_t resident_l2_lines,
+                                          std::size_t line_bytes = 32,
+                                          AdvisorThresholds thresholds = {});
+
+/// Convenience overload using the footprint recorded in the result.
+inline StateRecommendation recommend_power_state(const SimResult& profile,
+                                                 AdvisorThresholds thresholds = {}) {
+  return recommend_power_state(profile, profile.l2_resident_lines, 32, thresholds);
+}
+
+}  // namespace mot3d::cluster

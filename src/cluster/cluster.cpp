@@ -1,0 +1,221 @@
+#include "cluster/cluster.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mot3d::cluster {
+
+const char* fabric_name(Fabric f) {
+  switch (f) {
+    case Fabric::kMot: return "3-D MoT";
+    case Fabric::kTrueMesh3d: return "True 3-D Mesh";
+    case Fabric::kHybridBusMesh: return "3-D Hybrid Bus-Mesh";
+    case Fabric::kHybridBusTree: return "3-D Hybrid Bus-Tree";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  // ---- derive Table I timing/energy from the CACTI-lite model ----
+  const cacti::SramBankResult bank = cacti::evaluate(cfg_.l2_bank_sram);
+  cfg_.l2.total_banks = cfg_.total_banks;
+  cfg_.l2.bank_capacity_bytes = cfg_.l2_bank_sram.capacity_bytes;
+  cfg_.l2.associativity = cfg_.l2_bank_sram.associativity;
+  cfg_.l2.line_bytes = cfg_.l2_bank_sram.line_bytes;
+  cfg_.l2.access_cycles =
+      cacti::access_cycles(cfg_.l2_bank_sram, cfg_.tech.clock_period_ns);
+  cfg_.l2.read_energy_pj = bank.read_energy_pj;
+  cfg_.l2.write_energy_pj = bank.write_energy_pj;
+  cfg_.l2.leakage_mw_per_bank = bank.leakage_mw;
+  cfg_.dram.access_latency_ns = mem::dram_latency_ns(cfg_.dram_preset);
+  cfg_.core.l2_banks = cfg_.total_banks;
+  cfg_.floorplan.max_cores = cfg_.total_cores;
+  cfg_.floorplan.max_banks = cfg_.total_banks;
+
+  if (cfg_.power_state.total_cores() != cfg_.total_cores ||
+      cfg_.power_state.total_banks() != cfg_.total_banks) {
+    throw std::invalid_argument("power state does not match cluster shape");
+  }
+  if (cfg_.fabric != Fabric::kMot &&
+      (cfg_.power_state.active_cores() != cfg_.total_cores ||
+       cfg_.power_state.active_banks() != cfg_.total_banks)) {
+    throw std::invalid_argument(
+        "packet-switched baselines only run the full (ungated) configuration");
+  }
+
+  // ---- memory system ----
+  // DRAM requesters: one Miss-bus slot per bank + one per core (I-refills).
+  dram_ = std::make_unique<mem::DramBackend>(cfg_.dram,
+                                             cfg_.total_banks + cfg_.total_cores);
+  l2_ = std::make_unique<mem::L2System>(cfg_.l2, *dram_, /*dram_requester_base=*/0);
+  l2_->set_active_banks(cfg_.power_state.bank_mask());
+
+  // ---- interconnect ----
+  mot_timing_ = std::make_unique<core::MotTimingModel>(cfg_.tech, cfg_.floorplan,
+                                                       cfg_.l2_bank_sram);
+  if (cfg_.fabric == Fabric::kMot) {
+    core::MotInterconnectConfig mic;
+    mic.bank_hold_cycles = cfg_.l2.service_cycles;
+    auto mot = std::make_unique<core::MotInterconnect>(*mot_timing_,
+                                                       cfg_.power_state, mic);
+    mot_ = mot.get();
+    interconnect_ = std::move(mot);
+  } else {
+    cfg_.noc.num_cores = cfg_.total_cores;
+    cfg_.noc.num_banks = cfg_.total_banks;
+    cfg_.noc.line_bytes = cfg_.l2.line_bytes;
+    const power::InterconnectPowerModel pm(phys::WireModel(cfg_.tech),
+                                           cfg_.router_power);
+    noc::NocTopology topo = noc::NocTopology::kTrueMesh3d;
+    if (cfg_.fabric == Fabric::kHybridBusMesh) topo = noc::NocTopology::kHybridBusMesh;
+    if (cfg_.fabric == Fabric::kHybridBusTree) topo = noc::NocTopology::kHybridBusTree;
+    interconnect_ = noc::make_noc(topo, cfg_.noc, pm);
+  }
+
+  interconnect_->set_request_sink(
+      [this](const MemRequest& req, Cycle now) { l2_->deliver(req, now); });
+  interconnect_->set_response_sink([this](const MemResponse& resp, Cycle now) {
+    const Cycle lat = now - resp.issue_cycle;
+    l2_latency_.add(lat);
+    if (resp.l2_hit) l2_hit_latency_.add(lat);
+    assert(cores_[resp.core] != nullptr);
+    cores_[resp.core]->on_response(resp, now);
+  });
+  l2_->set_response_injector([this](const MemResponse& resp, Cycle now) {
+    return interconnect_->try_inject_response(resp, now);
+  });
+
+  // ---- workload & cores ----
+  workload_ = std::make_unique<workload::Workload>(
+      cfg_.app, cfg_.power_state.active_cores(), cfg_.scale, cfg_.seed);
+  barriers_.set_participants(cfg_.power_state.active_cores());
+
+  cores_.resize(cfg_.total_cores);
+  traces_.resize(cfg_.total_cores);
+  auto ifetch_issue = [this](CoreId c, Addr addr, Cycle now) {
+    // Instruction refills ride the Miss bus straight to DRAM (paper §II);
+    // requester slots for cores sit after the banks.
+    dram_->read(static_cast<std::uint32_t>(cfg_.total_banks + c), addr, now,
+                [this, c](std::uint32_t, Addr a, Cycle done) {
+                  cores_[c]->on_ifetch_refill(a, done);
+                });
+  };
+  for (std::size_t t = 0; t < cfg_.power_state.active_cores(); ++t) {
+    const CoreId c = cfg_.power_state.core_of_thread(t);
+    traces_[c] = workload_->make_trace(t);
+    cores_[c] = std::make_unique<cpu::Core>(c, cfg_.core, *traces_[c], barriers_,
+                                            ifetch_issue);
+    if (cfg_.warm_instruction_caches) {
+      cores_[c]->warm_l1i(workload::AddressMap::kCodeBase, cfg_.app.code_bytes);
+    }
+    active_cores_.push_back(c);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::tick_once() {
+  for (CoreId c : active_cores_) cores_[c]->tick(now_);
+  for (CoreId c : active_cores_) {
+    cpu::Core& core = *cores_[c];
+    if (core.pending_request().has_value() &&
+        interconnect_->try_inject_request(*core.pending_request(), now_)) {
+      core.injection_accepted(now_);
+    }
+  }
+  interconnect_->tick(now_);
+  l2_->tick(now_);
+  dram_->tick(now_);
+  ++now_;
+}
+
+void Cluster::step(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) tick_once();
+}
+
+bool Cluster::finished() const {
+  for (CoreId c : active_cores_) {
+    if (!cores_[c]->done()) return false;
+  }
+  return interconnect_->idle() && l2_->idle() && dram_->idle();
+}
+
+SimResult Cluster::run() {
+  while (!finished()) {
+    if (now_ >= cfg_.max_cycles) {
+      throw std::runtime_error("simulation exceeded max_cycles — livelock?");
+    }
+    tick_once();
+  }
+  return collect_result();
+}
+
+SimResult Cluster::collect_result() const {
+  SimResult r;
+  r.app = cfg_.app.name;
+  r.fabric = fabric_name(cfg_.fabric);
+  r.power_state = cfg_.power_state.name();
+  r.dram_latency_ns = cfg_.dram.access_latency_ns;
+  r.cycles = now_;
+  r.l2_latency = l2_latency_;
+  r.l2_hit_latency = l2_hit_latency_;
+  r.l2 = l2_->stats();
+  r.dram = dram_->stats();
+  r.interconnect = interconnect_->stats();
+  r.l2_resident_lines = l2_->resident_lines();
+
+  const power::CorePowerModel core_model(cfg_.core_power);
+  std::uint64_t l1d_miss = 0, l1d_acc = 0, l1i_miss = 0, l1i_acc = 0;
+  for (CoreId c : active_cores_) {
+    const cpu::Core& core = *cores_[c];
+    r.cores.push_back(core.stats());
+    r.instructions += core.stats().instructions;
+    l1d_miss += core.l1d_stats().misses();
+    l1d_acc += core.l1d_stats().accesses();
+    l1i_miss += core.l1i_stats().misses();
+    l1i_acc += core.l1i_stats().accesses();
+
+    r.energy.add_dynamic(power::Component::kCore,
+                         static_cast<double>(core.stats().instructions) *
+                             cfg_.core_power.energy_per_instr_pj);
+    r.energy.add_dynamic(power::Component::kCore,
+                         core_model.spin_pj(core.stats().spin_cycles));
+    r.energy.add_static(power::Component::kCore, core_model.static_pj(now_));
+    r.energy.add_dynamic(power::Component::kL1,
+                         static_cast<double>(core.l1_accesses()) *
+                             cfg_.core_power.energy_per_l1_access_pj);
+  }
+  r.l1d_miss_rate =
+      l1d_acc == 0 ? 0.0 : static_cast<double>(l1d_miss) / static_cast<double>(l1d_acc);
+  r.l1i_miss_rate =
+      l1i_acc == 0 ? 0.0 : static_cast<double>(l1i_miss) / static_cast<double>(l1i_acc);
+
+  r.energy.add_dynamic(power::Component::kL2, l2_->stats().dynamic_energy_pj);
+  r.energy.add_static(power::Component::kL2,
+                      l2_->leakage_mw() * static_cast<double>(now_));
+  r.energy.add_dynamic(power::Component::kInterconnect,
+                       interconnect_->dynamic_energy_pj());
+  r.energy.add_static(power::Component::kInterconnect,
+                      interconnect_->leakage_mw() * static_cast<double>(now_));
+  r.energy.add_dynamic(power::Component::kDram, dram_->stats().dynamic_energy_pj);
+
+  r.edp_pj_s = r.energy.edp_pj_s(now_);
+  r.avg_power_w = r.energy.average_power_w(now_);
+  return r;
+}
+
+ClusterConfig make_paper_config(const workload::AppProfile& app, Fabric fabric,
+                                const core::PowerState& state,
+                                mem::DramPreset dram_preset, double scale,
+                                std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.app = app;
+  cfg.fabric = fabric;
+  cfg.power_state = state;
+  cfg.dram_preset = dram_preset;
+  cfg.scale = scale;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace mot3d::cluster

@@ -1,0 +1,161 @@
+// The 3-D multi-core cluster system model (paper Fig. 1): 16 in-order cores
+// with private L1s on the core tier, a 32-bank shared L2 stacked above it,
+// a pluggable on-chip interconnect between them (circuit-switched MoT or
+// one of the packet-switched baselines), and an off-cluster DRAM behind the
+// round-robin Miss bus.  This is the Graphite-substitute [11] that runs the
+// synthetic SPLASH-2 workloads and produces every number in Figs. 6-8.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cacti/sram_model.hpp"
+#include "common/interconnect.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/mot_interconnect.hpp"
+#include "core/power_state.hpp"
+#include "cpu/barrier.hpp"
+#include "cpu/core.hpp"
+#include "mem/dram.hpp"
+#include "mem/l2_system.hpp"
+#include "noc/noc_interconnect.hpp"
+#include "phys/geometry.hpp"
+#include "phys/technology.hpp"
+#include "power/core_power.hpp"
+#include "power/energy_ledger.hpp"
+#include "power/interconnect_power.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace mot3d::cluster {
+
+/// Which transport connects cores to the stacked L2.
+enum class Fabric { kMot, kTrueMesh3d, kHybridBusMesh, kHybridBusTree };
+
+const char* fabric_name(Fabric f);
+
+struct ClusterConfig {
+  // -- architecture (Table I) --
+  std::size_t total_cores = 16;
+  std::size_t total_banks = 32;
+  cpu::CoreConfig core;                 ///< L1 geometry etc.
+  mem::L2Config l2;                     ///< timing/energy filled from CACTI-lite
+  mem::DramPreset dram_preset = mem::DramPreset::kDdr3_200ns;
+  mem::DramConfig dram;                 ///< latency overridden by the preset
+
+  // -- interconnect --
+  Fabric fabric = Fabric::kMot;
+  core::PowerState power_state = core::PowerState::full();
+  noc::NocConfig noc;                   ///< for the packet-switched baselines
+
+  // -- physical / power models --
+  phys::TechnologyParams tech = phys::default_technology();
+  phys::FloorplanParams floorplan;
+  cacti::SramBankConfig l2_bank_sram;
+  power::CorePowerParams core_power;
+  power::RouterPowerParams router_power;
+
+  // -- workload --
+  workload::AppProfile app;
+  double scale = 0.25;                  ///< fraction of the profile's work
+  std::uint64_t seed = 42;
+
+  // -- simulation --
+  Cycle max_cycles = 200'000'000;       ///< runaway guard
+  /// Pre-load each core's L1I with the app's code footprint.  Scaled-down
+  /// traces over-weight cold-start instruction misses; the paper's numbers
+  /// are steady-state over full SPLASH-2 runs.
+  bool warm_instruction_caches = true;
+};
+
+/// Everything a bench needs from one run.
+struct SimResult {
+  std::string app;
+  std::string fabric;
+  std::string power_state;
+  double dram_latency_ns = 0.0;
+
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+
+  // L2 access latency measured at the cores: injection -> response.
+  Histogram l2_latency{1, 256};       ///< all L2 transactions
+  Histogram l2_hit_latency{1, 256};   ///< L2 hits only (interconnect + bank)
+
+  mem::L2Stats l2;
+  mem::DramStats dram;
+  InterconnectStats interconnect;
+  std::size_t l2_resident_lines = 0;  ///< footprint left in the L2 at the end
+  double l1d_miss_rate = 0.0;
+  double l1i_miss_rate = 0.0;
+
+  power::EnergyLedger energy;
+  double edp_pj_s = 0.0;
+  double avg_power_w = 0.0;
+
+  std::vector<cpu::CoreStats> cores;  ///< active cores only
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) / static_cast<double>(cycles);
+  }
+};
+
+/// Build-and-run system simulator.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Run to completion (all cores done, all queues drained).
+  SimResult run();
+
+  /// Step the system `cycles` forward (examples / reconfiguration demos).
+  void step(Cycle cycles);
+
+  /// Current simulation time.
+  Cycle now() const { return now_; }
+  bool finished() const;
+
+  /// Component access for examples and tests.
+  Interconnect& interconnect() { return *interconnect_; }
+  core::MotInterconnect* mot() { return mot_; }
+  mem::L2System& l2() { return *l2_; }
+  mem::DramBackend& dram() { return *dram_; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  /// Snapshot results so far (run() calls this at completion).
+  SimResult collect_result() const;
+
+ private:
+  void tick_once();
+
+  ClusterConfig cfg_;
+  std::unique_ptr<mem::DramBackend> dram_;
+  std::unique_ptr<mem::L2System> l2_;
+  std::unique_ptr<Interconnect> interconnect_;
+  core::MotInterconnect* mot_ = nullptr;  ///< non-null when fabric == kMot
+  std::unique_ptr<core::MotTimingModel> mot_timing_;
+  cpu::BarrierController barriers_;
+  std::unique_ptr<workload::Workload> workload_;
+  std::vector<std::unique_ptr<workload::SyntheticTrace>> traces_;
+  std::vector<std::unique_ptr<cpu::Core>> cores_;  ///< null for gated cores
+  std::vector<CoreId> active_cores_;
+
+  Cycle now_ = 0;
+  Histogram l2_latency_{1, 256};
+  Histogram l2_hit_latency_{1, 256};
+};
+
+/// Canonical paper setup: Table I architecture + the given knobs.
+ClusterConfig make_paper_config(const workload::AppProfile& app, Fabric fabric,
+                                const core::PowerState& state,
+                                mem::DramPreset dram_preset, double scale = 0.25,
+                                std::uint64_t seed = 42);
+
+}  // namespace mot3d::cluster

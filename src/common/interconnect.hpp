@@ -1,0 +1,70 @@
+// Abstract on-chip interconnect: the pluggable transport between the cores'
+// L1 miss ports and the stacked L2 banks.
+//
+// Implementations: the paper's circuit-switched reconfigurable 3-D MoT
+// (src/core) and the three packet-switched baselines it is compared against
+// (src/noc: True 3-D Mesh, 3-D Hybrid Bus-Mesh, 3-D Hybrid Bus-Tree).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/messages.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace mot3d {
+
+/// Transport-level counters common to every interconnect.
+struct InterconnectStats {
+  std::uint64_t requests_injected = 0;
+  std::uint64_t requests_delivered = 0;
+  std::uint64_t responses_injected = 0;
+  std::uint64_t responses_delivered = 0;
+  std::uint64_t arbitration_wait_cycles = 0;  ///< (MoT) lost-arbitration cycles
+};
+
+/// Cycle-driven transport.  The cluster drives tick() once per cycle after
+/// the cores; deliveries happen through the registered sinks.
+class Interconnect {
+ public:
+  /// Request arriving at a bank: `bank` already rewritten to the physical
+  /// bank (power-gating remap applied by the routing switches).
+  using RequestSink = std::function<void(const MemRequest&, Cycle)>;
+  /// Response arriving back at its core.
+  using ResponseSink = std::function<void(const MemResponse&, Cycle)>;
+
+  virtual ~Interconnect() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Core-side injection; false == port busy this cycle (retry next tick).
+  virtual bool try_inject_request(const MemRequest& req, Cycle now) = 0;
+
+  /// Bank-side injection; false == port busy this cycle.
+  virtual bool try_inject_response(const MemResponse& resp, Cycle now) = 0;
+
+  /// Advance one cycle; may call the sinks.
+  virtual void tick(Cycle now) = 0;
+
+  /// Nothing in flight.
+  virtual bool idle() const = 0;
+
+  /// Cumulative transport dynamic energy, pJ.
+  virtual double dynamic_energy_pj() const = 0;
+
+  /// Leakage power of the (currently powered) network, mW.
+  virtual double leakage_mw() const = 0;
+
+  void set_request_sink(RequestSink s) { request_sink_ = std::move(s); }
+  void set_response_sink(ResponseSink s) { response_sink_ = std::move(s); }
+
+  const InterconnectStats& stats() const { return stats_; }
+
+ protected:
+  RequestSink request_sink_;
+  ResponseSink response_sink_;
+  InterconnectStats stats_;
+};
+
+}  // namespace mot3d

@@ -1,0 +1,36 @@
+// Cluster-wide message types: the lingua franca between cores, the
+// interconnect (circuit-switched MoT or packet-switched NoC baselines),
+// the banked L2 and the DRAM backend.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mot3d {
+
+/// A core-to-L2 transaction travelling through the on-chip interconnect.
+/// `bank` is the *logical* bank index derived from the line address; the
+/// interconnect rewrites it to the physical bank when routing switches run
+/// in user-defined (power-gating) mode.
+struct MemRequest {
+  std::uint64_t id = 0;        ///< unique per run, for matching responses
+  CoreId core = 0;             ///< requester
+  BankId bank = 0;             ///< logical destination bank
+  Addr addr = 0;               ///< full byte address
+  bool is_write = false;       ///< write-back from L1 (carries a line)
+  Cycle issue_cycle = 0;       ///< when the core injected it
+};
+
+/// The L2's answer routed back to the requesting core.
+struct MemResponse {
+  std::uint64_t id = 0;
+  CoreId core = 0;
+  BankId bank = 0;             ///< physical bank that served the request
+  Addr addr = 0;
+  bool is_write = false;
+  bool l2_hit = false;         ///< served from SRAM vs. refilled from DRAM
+  Cycle issue_cycle = 0;       ///< copied from the request
+};
+
+}  // namespace mot3d

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Simulation results must be exactly reproducible across runs and platforms,
+// so we use a self-contained SplitMix64/xoshiro-style generator instead of
+// std::mt19937 + std::distributions (whose outputs are not portable across
+// standard-library implementations).
+#pragma once
+
+#include <cstdint>
+
+namespace mot3d {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG.  Used both directly and
+/// to seed larger state.  Reference: Steele, Lea & Flood, "Fast splittable
+/// pseudorandom number generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministic RNG with convenience draws used by the workload generators.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed ^ 0xA5A5A5A55A5A5A5AULL) {
+    // Warm up so that small seeds diverge immediately.
+    (void)gen_.next();
+    (void)gen_.next();
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() { return gen_.next(); }
+
+  /// Uniform in [0, bound) for bound >= 1 (Lemire reduction, bias-free enough
+  /// for simulation purposes; bound << 2^64 here).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : gen_.next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool next_bool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Geometric-ish draw: number of failures before a success with prob p,
+  /// capped at `cap` to bound trace-record lengths.  p in (0,1].
+  std::uint32_t next_geometric(double p, std::uint32_t cap) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return cap;
+    std::uint32_t n = 0;
+    while (n < cap && !next_bool(p)) ++n;
+    return n;
+  }
+
+ private:
+  SplitMix64 gen_;
+};
+
+}  // namespace mot3d

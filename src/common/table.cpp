@@ -1,0 +1,49 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mot3d {
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto fit = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  fit(header_);
+  for (const auto& row : rows_) fit(row);
+
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  os.flush();
+}
+
+std::string fmt_fixed(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << (fraction * 100.0) << '%';
+  return ss.str();
+}
+
+}  // namespace mot3d

@@ -1,0 +1,59 @@
+// Fundamental value types shared by every mot3d module.
+//
+// All simulation time is expressed in core clock cycles of the 1 GHz cluster
+// clock (1 cycle == 1 ns).  Physical-model code (src/phys) works in SI units
+// (seconds, ohms, farads, metres) and converts at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mot3d {
+
+/// Simulation time in core clock cycles (1 GHz -> 1 cycle = 1 ns).
+using Cycle = std::uint64_t;
+
+/// Byte address within the cluster's physical address space.
+using Addr = std::uint64_t;
+
+/// Index of a processing core within the cluster (0-based).
+using CoreId = std::uint32_t;
+
+/// Index of an L2 cache bank within the stacked L2 (0-based).
+using BankId = std::uint32_t;
+
+/// Sentinel for "no cycle" / "not scheduled".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Sentinel for invalid core / bank ids.
+inline constexpr std::uint32_t kInvalidId = std::numeric_limits<std::uint32_t>::max();
+
+/// Kind of memory reference issued by a core.
+enum class MemOp : std::uint8_t {
+  kInstrFetch,  ///< instruction fetch (L1I)
+  kLoad,        ///< data read (L1D)
+  kStore,       ///< data write (L1D)
+};
+
+/// Returns true for operations that dirty a cache line.
+constexpr bool is_write(MemOp op) { return op == MemOp::kStore; }
+
+/// Integer log2 for powers of two; precondition: x is a power of two, x > 0.
+constexpr unsigned log2_exact(std::uint64_t x) {
+  unsigned n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// True if x is a (positive) power of two.
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Ceiling division for unsigned integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace mot3d

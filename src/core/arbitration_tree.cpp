@@ -1,0 +1,90 @@
+#include "core/arbitration_tree.hpp"
+
+#include <stdexcept>
+
+namespace mot3d::core {
+
+ArbitrationTree::ArbitrationTree(std::size_t total_cores)
+    : total_cores_(total_cores) {
+  if (!is_pow2(total_cores) || total_cores < 2) {
+    throw std::invalid_argument("arbitration tree needs a power-of-two >= 2 inputs");
+  }
+  levels_ = log2_exact(total_cores);
+  nodes_.resize(total_cores - 1);
+}
+
+std::size_t ArbitrationTree::configure(const PowerState& state) {
+  if (state.total_cores() != total_cores_) {
+    throw std::invalid_argument("power state core count mismatch");
+  }
+  // A switch stays powered iff at least one core in its subtree is active.
+  for (unsigned l = 0; l < levels_; ++l) {
+    const std::size_t count = std::size_t{1} << l;
+    const std::size_t span = total_cores_ >> l;  // cores per subtree
+    for (std::size_t i = 0; i < count; ++i) {
+      bool any = false;
+      for (std::size_t c = i * span; c < (i + 1) * span; ++c) {
+        if (state.core_active(static_cast<CoreId>(c))) {
+          any = true;
+          break;
+        }
+      }
+      nodes_[node_index(l, i)].set_powered(any);
+    }
+  }
+  return powered_switches();
+}
+
+ArbitrationTree::Outcome ArbitrationTree::descend(unsigned level, std::size_t index,
+                                                  const std::vector<bool>& requesting) {
+  const std::size_t span = total_cores_ >> level;
+  if (span == 1) {
+    // Virtual leaf: the core's request wire.
+    const bool req = index < requesting.size() && requesting[index];
+    return {req, static_cast<CoreId>(index)};
+  }
+  ArbitrationSwitch& sw = nodes_[node_index(level, index)];
+  if (!sw.powered()) return {false, 0};
+
+  const Outcome left = descend(level + 1, index * 2, requesting);
+  const Outcome right = descend(level + 1, index * 2 + 1, requesting);
+  const std::optional<unsigned> choice = sw.peek(left.requesting, right.requesting);
+  if (!choice.has_value()) return {false, 0};
+  return {true, *choice == 0 ? left.winner : right.winner};
+}
+
+void ArbitrationTree::commit_path(unsigned level, std::size_t index,
+                                  const std::vector<bool>& requesting) {
+  const std::size_t span = total_cores_ >> level;
+  if (span == 1) return;
+  ArbitrationSwitch& sw = nodes_[node_index(level, index)];
+  const Outcome left = descend(level + 1, index * 2, requesting);
+  const Outcome right = descend(level + 1, index * 2 + 1, requesting);
+  const std::optional<unsigned> choice = sw.peek(left.requesting, right.requesting);
+  if (!choice.has_value()) return;
+  // Round-robin priority rotates only along the granted spine; switches in
+  // losing subtrees keep their pointers — this is what bounds any core's
+  // wait by the number of contenders.
+  sw.commit(*choice);
+  commit_path(level + 1, index * 2 + *choice, requesting);
+}
+
+std::optional<CoreId> ArbitrationTree::arbitrate(const std::vector<bool>& requesting) {
+  const Outcome out = descend(0, 0, requesting);
+  if (!out.requesting) return std::nullopt;
+  commit_path(0, 0, requesting);
+  return out.winner;
+}
+
+std::size_t ArbitrationTree::powered_switches() const {
+  std::size_t n = 0;
+  for (const ArbitrationSwitch& sw : nodes_) n += sw.powered() ? 1 : 0;
+  return n;
+}
+
+const ArbitrationSwitch& ArbitrationTree::switch_at(unsigned level,
+                                                    std::size_t index) const {
+  return nodes_.at(node_index(level, index));
+}
+
+}  // namespace mot3d::core

@@ -1,0 +1,58 @@
+// The per-bank arbitration tree of the 3-D MoT (paper Fig. 2(a)).
+//
+// A binary tree of 2-input round-robin arbitration switches merges the
+// requests of up to `total_cores` cores heading for one cache bank.  Every
+// cycle at most one contender wins and proceeds onto the bank's TSV bus;
+// the hierarchical round-robin pointers guarantee starvation freedom with
+// a worst-case wait bounded by the number of contenders.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/power_state.hpp"
+#include "core/switch.hpp"
+
+namespace mot3d::core {
+
+class ArbitrationTree {
+ public:
+  explicit ArbitrationTree(std::size_t total_cores);
+
+  /// Program the tree for `state` (gates switches whose whole subtree of
+  /// cores is powered off); returns the number of powered switches.
+  std::size_t configure(const PowerState& state);
+
+  /// Grant one requester among `requesting` (indexed by physical core id);
+  /// returns the winner or nullopt when nobody requests.  Updates the
+  /// round-robin pointers along the granted path only, as the hardware does.
+  std::optional<CoreId> arbitrate(const std::vector<bool>& requesting);
+
+  std::size_t total_cores() const { return total_cores_; }
+  unsigned levels() const { return levels_; }
+  std::size_t powered_switches() const;
+
+  /// Test hook: the switch at (level, index), level 0 = root.
+  const ArbitrationSwitch& switch_at(unsigned level, std::size_t index) const;
+
+ private:
+  struct Outcome {
+    bool requesting = false;
+    CoreId winner = 0;
+  };
+  Outcome descend(unsigned level, std::size_t index,
+                  const std::vector<bool>& requesting);
+  void commit_path(unsigned level, std::size_t index,
+                   const std::vector<bool>& requesting);
+  std::size_t node_index(unsigned level, std::size_t index) const {
+    return (std::size_t{1} << level) - 1 + index;
+  }
+
+  std::size_t total_cores_;
+  unsigned levels_;
+  std::vector<ArbitrationSwitch> nodes_;
+};
+
+}  // namespace mot3d::core

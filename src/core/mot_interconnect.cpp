@@ -1,0 +1,105 @@
+#include "core/mot_interconnect.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mot3d::core {
+
+MotInterconnect::MotInterconnect(const MotTimingModel& timing,
+                                 const PowerState& initial,
+                                 MotInterconnectConfig cfg)
+    : timing_(timing),
+      cfg_(cfg),
+      state_(initial),
+      state_timing_(timing.timing(initial)),
+      routing_(initial.total_banks()),
+      core_slot_(initial.total_cores()),
+      bank_free_at_(initial.total_banks(), 0) {
+  bank_arbiters_.reserve(initial.total_banks());
+  for (std::size_t b = 0; b < initial.total_banks(); ++b) {
+    bank_arbiters_.emplace_back(initial.total_cores());
+  }
+  configure(initial);
+}
+
+void MotInterconnect::configure(const PowerState& state) {
+  state_ = state;
+  state_timing_ = timing_.timing(state);
+  routing_.configure(state);
+  for (ArbitrationTree& at : bank_arbiters_) at.configure(state);
+}
+
+BankId MotInterconnect::route(BankId logical) const {
+  const std::optional<BankId> phys = routing_.resolve(logical);
+  assert(phys.has_value() && "routing tree blocked an in-range bank index");
+  return *phys;
+}
+
+bool MotInterconnect::try_inject_request(const MemRequest& req, Cycle now) {
+  if (req.core >= core_slot_.size()) throw std::out_of_range("bad core id");
+  assert(state_.core_active(req.core) && "gated core injected a request");
+  InFlight& slot = core_slot_[req.core];
+  if (slot.valid) return false;  // circuit already held by this core
+
+  slot.req = req;
+  slot.physical_bank = route(req.bank);
+  slot.eligible = now + state_timing_.request_cycles;
+  slot.valid = true;
+  ++stats_.requests_injected;
+  dynamic_energy_pj_ += timing_.request_energy_pj(state_, req.is_write);
+  return true;
+}
+
+bool MotInterconnect::try_inject_response(const MemResponse& resp, Cycle now) {
+  responses_.push_back(PendingResponse{resp, now + state_timing_.response_cycles});
+  ++stats_.responses_injected;
+  // Read responses carry the refilled line; write acks are header-only.
+  dynamic_energy_pj_ += timing_.response_energy_pj(state_, !resp.is_write);
+  return true;
+}
+
+void MotInterconnect::tick(Cycle now) {
+  // 1. Deliver responses whose constant-delay return path has elapsed.
+  while (!responses_.empty() && responses_.front().due <= now) {
+    const PendingResponse& pr = responses_.front();
+    ++stats_.responses_delivered;
+    if (response_sink_) response_sink_(pr.resp, now);
+    responses_.pop_front();
+  }
+
+  // 2. Per-bank arbitration among the requests that have traversed their
+  //    routing trees.  One grant per bank per cycle, gated by the circuit
+  //    hold of the previous transaction.
+  std::vector<bool> requesting(core_slot_.size(), false);
+  for (BankId b = 0; b < bank_arbiters_.size(); ++b) {
+    if (!state_.bank_active(b) || bank_free_at_[b] > now) continue;
+    bool any = false;
+    for (CoreId c = 0; c < core_slot_.size(); ++c) {
+      const InFlight& s = core_slot_[c];
+      const bool wants = s.valid && s.physical_bank == b && s.eligible <= now;
+      requesting[c] = wants;
+      any = any || wants;
+    }
+    if (!any) continue;
+    const std::optional<CoreId> winner = bank_arbiters_[b].arbitrate(requesting);
+    assert(winner.has_value());
+    InFlight& s = core_slot_[*winner];
+    stats_.arbitration_wait_cycles += now - s.eligible;
+    ++stats_.requests_delivered;
+    bank_free_at_[b] = now + cfg_.bank_hold_cycles;
+    MemRequest delivered = s.req;
+    delivered.bank = b;  // physical
+    s.valid = false;
+    if (request_sink_) request_sink_(delivered, now);
+  }
+}
+
+bool MotInterconnect::idle() const {
+  if (!responses_.empty()) return false;
+  for (const InFlight& s : core_slot_) {
+    if (s.valid) return false;
+  }
+  return true;
+}
+
+}  // namespace mot3d::core

@@ -1,0 +1,59 @@
+// Power-state reconfiguration sequencing (paper Section III).
+//
+// "If cache banks are turned off at runtime, dirty cache blocks in the
+// power-off banks must be written back to the off-cluster memory for data
+// coherency.  After turning on the cache banks again, the old cache data
+// that does not belong to cache banks any more will be removed by the
+// cache replacement policy."
+//
+// The manager performs exactly that protocol: with the cores quiesced it
+// (1) flushes the dirty lines of every bank about to be gated, posting the
+// write-backs on the round-robin Miss bus, (2) reprograms the ctr signals
+// of every routing switch, (3) updates the L2 powered-bank mask.  Stale
+// lines in surviving banks are left to die by replacement, as in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "core/mot_interconnect.hpp"
+#include "core/power_state.hpp"
+#include "mem/dram.hpp"
+#include "mem/l2_system.hpp"
+
+namespace mot3d::core {
+
+/// Cost summary of one state transition.
+struct ReconfigCost {
+  std::uint64_t dirty_lines_flushed = 0;
+  Cycle flush_cycles = 0;       ///< Miss-bus serialisation of the write-backs
+  Cycle reprogram_cycles = 0;   ///< ctr-signal distribution to the switches
+  double flush_energy_pj = 0.0; ///< bank read-outs for the flushed lines
+
+  Cycle total_cycles() const { return flush_cycles + reprogram_cycles; }
+};
+
+class ReconfigManager {
+ public:
+  ReconfigManager(MotInterconnect& interconnect, mem::L2System& l2,
+                  mem::DramBackend& dram)
+      : interconnect_(interconnect), l2_(l2), dram_(dram) {}
+
+  /// Transition to `next` at time `now`.  Preconditions: the cores are
+  /// quiesced (no request in flight through the interconnect) — asserted
+  /// via Interconnect::idle().
+  ReconfigCost apply(const PowerState& next, Cycle now);
+
+  /// Write-back cost estimate without performing the transition (used by
+  /// runtime policies deciding whether a switch is worth it).
+  ReconfigCost estimate(const PowerState& next) const;
+
+ private:
+  ReconfigCost plan(const PowerState& next, bool execute, Cycle now);
+
+  MotInterconnect& interconnect_;
+  mem::L2System& l2_;
+  mem::DramBackend& dram_;
+};
+
+}  // namespace mot3d::core

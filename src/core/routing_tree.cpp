@@ -1,0 +1,90 @@
+#include "core/routing_tree.hpp"
+
+#include <stdexcept>
+
+namespace mot3d::core {
+
+RoutingTree::RoutingTree(std::size_t total_banks) : total_banks_(total_banks) {
+  if (!is_pow2(total_banks) || total_banks < 2) {
+    throw std::invalid_argument("routing tree needs a power-of-two >= 2 leaves");
+  }
+  levels_ = log2_exact(total_banks);
+  nodes_.reserve(total_banks - 1);
+  for (unsigned l = 0; l < levels_; ++l) {
+    const std::size_t count = std::size_t{1} << l;
+    for (std::size_t i = 0; i < count; ++i) {
+      // Level l decodes bank-index bit (n-1-l).
+      nodes_.emplace_back(levels_ - 1 - l);
+    }
+  }
+}
+
+std::size_t RoutingTree::node_index(unsigned level, std::size_t index) const {
+  // Nodes of level l start at 2^l - 1 (complete-binary-tree layout).
+  return (std::size_t{1} << level) - 1 + index;
+}
+
+const RoutingSwitch& RoutingTree::switch_at(unsigned level, std::size_t index) const {
+  return nodes_.at(node_index(level, index));
+}
+
+RoutingSwitch& RoutingTree::switch_at(unsigned level, std::size_t index) {
+  return nodes_.at(node_index(level, index));
+}
+
+std::size_t RoutingTree::configure(const PowerState& state) {
+  if (state.total_banks() != total_banks_) {
+    throw std::invalid_argument("power state bank count mismatch");
+  }
+  const unsigned forced = state.forced_bank_levels();
+
+  // Pass 1: everything gated; conventional levels get their mode but stay
+  // "gated" until proven reachable.
+  for (RoutingSwitch& sw : nodes_) sw.set_mode(RouteMode::kPowerGated);
+
+  // Pass 2: walk every logical bank's path, powering the switches along it
+  // with the right mode.  Levels 1..forced run user-defined (centre-fold);
+  // all other levels run conventional.  (Level 0 is only forced when a
+  // single bank remains; the fold then picks the upper half.)
+  for (BankId logical = 0; logical < total_banks_; ++logical) {
+    std::size_t idx = 0;
+    for (unsigned l = 0; l < levels_; ++l) {
+      RoutingSwitch& sw = switch_at(l, idx);
+      RouteMode mode;
+      const bool level_forced =
+          (l >= 1 && l <= forced) || (forced >= levels_ && l == 0);
+      if (level_forced) {
+        // Centre-fold: subtrees in the lower half of the field fold toward
+        // port 1 (higher indices); upper-half subtrees toward port 0.  The
+        // root (only forced in the degenerate 1-bank state) folds right.
+        const bool upper_half = l == 0 ? false : ((idx >> (l - 1)) & 1u) != 0;
+        mode = upper_half ? RouteMode::kForcePort0 : RouteMode::kForcePort1;
+      } else {
+        mode = RouteMode::kConventional;
+      }
+      sw.set_mode(mode);
+      const std::optional<unsigned> port = sw.route(logical);
+      idx = idx * 2 + *port;
+    }
+  }
+  return powered_switches();
+}
+
+std::optional<BankId> RoutingTree::resolve(BankId bank) const {
+  if (bank >= total_banks_) return std::nullopt;
+  std::size_t idx = 0;
+  for (unsigned l = 0; l < levels_; ++l) {
+    const std::optional<unsigned> port = switch_at(l, idx).route(bank);
+    if (!port.has_value()) return std::nullopt;
+    idx = idx * 2 + *port;
+  }
+  return static_cast<BankId>(idx);
+}
+
+std::size_t RoutingTree::powered_switches() const {
+  std::size_t n = 0;
+  for (const RoutingSwitch& sw : nodes_) n += sw.powered() ? 1 : 0;
+  return n;
+}
+
+}  // namespace mot3d::core

@@ -1,0 +1,50 @@
+// The per-core routing tree of the 3-D MoT (paper Fig. 2(a), Fig. 4).
+//
+// A binary tree of (modified) routing switches fans one core out to the
+// `total_banks` TSV-bus landing sites.  Level 0 (the root) decodes the most
+// significant bank-index bit; level l decodes bit (n-1-l).  Configuring a
+// power state drives the don't-care levels into user-defined mode with the
+// centre-folding direction (lower-half subtrees force port 1, upper-half
+// force port 0) and power-gates every switch that no active path crosses —
+// reproducing Fig. 4's gray/white switch pattern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/power_state.hpp"
+#include "core/switch.hpp"
+
+namespace mot3d::core {
+
+class RoutingTree {
+ public:
+  explicit RoutingTree(std::size_t total_banks);
+
+  /// Program switch modes for `state`; returns the number of powered
+  /// switches (for leakage accounting).
+  std::size_t configure(const PowerState& state);
+
+  /// Walk the tree for logical destination `bank`; returns the physical
+  /// leaf reached, or nullopt if the path crosses a gated switch.
+  std::optional<BankId> resolve(BankId bank) const;
+
+  /// Direct access for tests / visualisation: switch at (level, index).
+  const RoutingSwitch& switch_at(unsigned level, std::size_t index) const;
+  RoutingSwitch& switch_at(unsigned level, std::size_t index);
+
+  unsigned levels() const { return levels_; }
+  std::size_t total_banks() const { return total_banks_; }
+  std::size_t powered_switches() const;
+
+ private:
+  std::size_t node_index(unsigned level, std::size_t index) const;
+
+  std::size_t total_banks_;
+  unsigned levels_;
+  std::vector<RoutingSwitch> nodes_;  ///< level-major: 2^l nodes at level l
+};
+
+}  // namespace mot3d::core

@@ -1,0 +1,22 @@
+#include "core/switch.hpp"
+
+namespace mot3d::core {
+
+RouteMode mode_from_signals(ControlSignals s) {
+  if (!s.ctr_1 && !s.ctr_0) return RouteMode::kConventional;
+  if (!s.ctr_1 && s.ctr_0) return RouteMode::kForcePort0;
+  if (s.ctr_1 && !s.ctr_0) return RouteMode::kForcePort1;
+  return RouteMode::kPowerGated;
+}
+
+ControlSignals signals_from_mode(RouteMode m) {
+  switch (m) {
+    case RouteMode::kConventional: return {false, false};
+    case RouteMode::kForcePort0: return {true, false};
+    case RouteMode::kForcePort1: return {false, true};
+    case RouteMode::kPowerGated: return {true, true};
+  }
+  return {false, false};
+}
+
+}  // namespace mot3d::core

@@ -1,0 +1,45 @@
+// Cluster-wide barrier synchronisation (SPLASH-2 style spin barriers).
+//
+// Cores arriving at barrier `id` spin (burning spin power, see
+// power::CorePowerParams::spin_fraction) until every participating core
+// has arrived.  Barrier ids are dense and monotonically increasing within
+// a run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mot3d::cpu {
+
+class BarrierController {
+ public:
+  explicit BarrierController(std::size_t participants = 0)
+      : participants_(participants) {}
+
+  void set_participants(std::size_t n) { participants_ = n; }
+  std::size_t participants() const { return participants_; }
+
+  /// Register `core`'s arrival at barrier `id`.
+  void arrive(std::uint32_t id) {
+    if (arrivals_.size() <= id) arrivals_.resize(id + 1, 0);
+    ++arrivals_[id];
+  }
+
+  /// True once all participants have arrived at barrier `id`.
+  bool released(std::uint32_t id) const {
+    return id < arrivals_.size() && arrivals_[id] >= participants_;
+  }
+
+  /// Arrival count (diagnostics / tests).
+  std::size_t arrivals(std::uint32_t id) const {
+    return id < arrivals_.size() ? arrivals_[id] : 0;
+  }
+
+ private:
+  std::size_t participants_;
+  std::vector<std::size_t> arrivals_;
+};
+
+}  // namespace mot3d::cpu

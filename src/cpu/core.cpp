@@ -1,0 +1,172 @@
+#include "cpu/core.hpp"
+
+#include <cassert>
+
+namespace mot3d::cpu {
+
+Core::Core(CoreId id, const CoreConfig& cfg, TraceSource& trace,
+           BarrierController& barriers, IFetchIssue ifetch_issue)
+    : id_(id),
+      cfg_(cfg),
+      line_shift_(log2_exact(cfg.l1d.line_bytes)),
+      trace_(trace),
+      barriers_(barriers),
+      ifetch_issue_(std::move(ifetch_issue)),
+      l1i_(cfg.l1i),
+      l1d_(cfg.l1d) {
+  assert(is_pow2(cfg.l2_banks));
+}
+
+void Core::tick(Cycle now) {
+  switch (state_) {
+    case State::kDone:
+      ++stats_.idle_cycles;
+      return;
+    case State::kCompute:
+      ++stats_.busy_cycles;
+      ++stats_.instructions;
+      if (--compute_remaining_ == 0) state_ = State::kFetch;
+      return;
+    case State::kWaitInject:
+    case State::kWaitMem:
+    case State::kWaitIFetch:
+      ++stats_.stall_cycles;
+      return;
+    case State::kAtBarrier:
+      if (barriers_.released(barrier_id_)) {
+        state_ = State::kFetch;
+        process_next_record(now);
+      } else {
+        ++stats_.spin_cycles;
+      }
+      return;
+    case State::kFetch:
+      process_next_record(now);
+      return;
+  }
+}
+
+void Core::process_next_record(Cycle now) {
+  // Instruction-cache hits are overlapped with execution (zero cost), so we
+  // may chain through a bounded number of them within one cycle.
+  for (unsigned chained = 0; chained <= cfg_.max_zero_cost_records; ++chained) {
+    const TraceRecord r = trace_.next();
+    switch (r.kind) {
+      case TraceKind::kEnd:
+        state_ = State::kDone;
+        stats_.finish_cycle = now;
+        ++stats_.idle_cycles;
+        return;
+
+      case TraceKind::kBarrier:
+        barriers_.arrive(r.barrier_id);
+        barrier_id_ = r.barrier_id;
+        state_ = State::kAtBarrier;
+        ++stats_.busy_cycles;  // executing the barrier arrival
+        return;
+
+      case TraceKind::kCompute:
+        if (r.compute_cycles == 0) continue;  // degenerate, zero-cost
+        ++stats_.busy_cycles;
+        ++stats_.instructions;
+        if (r.compute_cycles > 1) {
+          compute_remaining_ = r.compute_cycles - 1;
+          state_ = State::kCompute;
+        }
+        return;
+
+      case TraceKind::kMem: {
+        if (r.op == MemOp::kInstrFetch) {
+          if (l1i_.lookup(r.addr, /*is_write=*/false).hit) continue;  // free
+          ++stats_.ifetch_misses;
+          ++stats_.stall_cycles;
+          refill_addr_ = r.addr;
+          state_ = State::kWaitIFetch;
+          ifetch_issue_(id_, line_of(r.addr), now);
+          return;
+        }
+        ++stats_.instructions;
+        const bool store = is_write(r.op);
+        if (l1d_.lookup(r.addr, store).hit) {
+          ++stats_.busy_cycles;  // Table I: 1-cycle L1 latency
+          return;                // state stays kFetch
+        }
+        ++stats_.stall_cycles;
+        issue_data_miss(r.addr, store, now);
+        return;
+      }
+    }
+  }
+  // Pathological run of zero-cost records: charge a cycle to keep time moving.
+  ++stats_.busy_cycles;
+}
+
+void Core::issue_data_miss(Addr addr, bool store_miss, Cycle now) {
+  const Addr line = line_of(addr);
+  refill_addr_ = line;
+  refill_is_store_ = store_miss;
+  inflight_is_writeback_ = false;
+  pending_ = MemRequest{
+      .id = (static_cast<std::uint64_t>(id_) << 32) | next_req_seq_++,
+      .core = id_,
+      .bank = bank_of(line),
+      .addr = line,
+      .is_write = false,  // refill fetch; write-allocate dirties on insert
+      .issue_cycle = now,
+  };
+  state_ = State::kWaitInject;
+}
+
+void Core::injection_accepted(Cycle now) {
+  (void)now;
+  assert(state_ == State::kWaitInject && pending_.has_value());
+  ++stats_.l2_requests;
+  pending_.reset();
+  state_ = State::kWaitMem;
+}
+
+void Core::on_response(const MemResponse& resp, Cycle now) {
+  assert(state_ == State::kWaitMem);
+  assert(resp.core == id_);
+  if (inflight_is_writeback_) {
+    // Dirty-victim write-back acknowledged; resume the instruction stream.
+    inflight_is_writeback_ = false;
+    state_ = State::kFetch;
+    return;
+  }
+  // Refill arrived: install in L1D, possibly displacing a dirty victim that
+  // must be written back to the L2 before execution continues (blocking,
+  // in-order core with a single victim buffer).
+  const mem::InsertResult ins = l1d_.insert(refill_addr_, refill_is_store_);
+  if (ins.evicted_dirty) {
+    ++stats_.l1_writebacks;
+    inflight_is_writeback_ = true;
+    pending_ = MemRequest{
+        .id = (static_cast<std::uint64_t>(id_) << 32) | next_req_seq_++,
+        .core = id_,
+        .bank = bank_of(ins.evicted_line_addr),
+        .addr = ins.evicted_line_addr,
+        .is_write = true,
+        .issue_cycle = now,
+    };
+    state_ = State::kWaitInject;
+    return;
+  }
+  state_ = State::kFetch;
+}
+
+void Core::warm_l1i(Addr base, std::size_t bytes) {
+  const std::size_t line = cfg_.l1i.line_bytes;
+  for (Addr a = base; a < base + bytes; a += line) {
+    l1i_.insert(a, /*dirty=*/false);
+  }
+}
+
+void Core::on_ifetch_refill(Addr addr, Cycle now) {
+  (void)now;
+  assert(state_ == State::kWaitIFetch);
+  l1i_.insert(addr, /*dirty=*/false);  // instruction lines are never dirty
+  state_ = State::kFetch;
+}
+
+}  // namespace mot3d::cpu

@@ -1,0 +1,51 @@
+// Trace-driven execution: the record stream a core consumes.
+//
+// Substitutes for Graphite [11] + SPLASH-2 binaries [12]: instead of
+// functionally executing the benchmarks, cores replay synthetic streams
+// whose statistical structure (compute/memory mix, locality, working set,
+// barrier cadence, serial sections) is calibrated per application in
+// src/workload.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mot3d::cpu {
+
+/// One unit of work in a core's instruction stream.
+enum class TraceKind : std::uint8_t {
+  kCompute,  ///< `compute_cycles` back-to-back non-memory instructions
+  kMem,      ///< one load/store/ifetch to `addr`
+  kBarrier,  ///< synchronise with the other participating cores
+  kEnd,      ///< stream exhausted (emitted forever afterwards)
+};
+
+struct TraceRecord {
+  TraceKind kind = TraceKind::kEnd;
+  std::uint32_t compute_cycles = 0;  ///< kCompute
+  MemOp op = MemOp::kLoad;           ///< kMem
+  Addr addr = 0;                     ///< kMem
+  std::uint32_t barrier_id = 0;      ///< kBarrier
+
+  static TraceRecord compute(std::uint32_t n) {
+    return {TraceKind::kCompute, n, MemOp::kLoad, 0, 0};
+  }
+  static TraceRecord mem(MemOp op, Addr a) {
+    return {TraceKind::kMem, 0, op, a, 0};
+  }
+  static TraceRecord barrier(std::uint32_t id) {
+    return {TraceKind::kBarrier, 0, MemOp::kLoad, 0, id};
+  }
+  static TraceRecord end() { return {}; }
+};
+
+/// Pull-based record stream; implementations must be deterministic.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  /// Next record; returns kEnd forever once the stream is exhausted.
+  virtual TraceRecord next() = 0;
+};
+
+}  // namespace mot3d::cpu

@@ -1,0 +1,130 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mot3d::mem {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (!is_pow2(cfg.line_bytes) || !is_pow2(cfg.capacity_bytes)) {
+    throw std::invalid_argument("cache geometry must be power of two");
+  }
+  if (cfg.associativity == 0 || cfg.num_lines() % cfg.associativity != 0) {
+    throw std::invalid_argument("associativity must divide line count");
+  }
+  if (!is_pow2(cfg.num_sets())) {
+    throw std::invalid_argument("set count must be a power of two");
+  }
+  line_shift_ = log2_exact(cfg.line_bytes);
+  ways_.resize(cfg.num_sets() * cfg.associativity);
+}
+
+std::size_t Cache::set_of(Addr line) const {
+  const Addr line_id = line >> line_shift_;
+  return static_cast<std::size_t>((line_id >> cfg_.index_shift) &
+                                  (cfg_.num_sets() - 1));
+}
+
+Cache::Way* Cache::find(Addr line) {
+  const std::size_t base = set_of(line) * cfg_.associativity;
+  for (std::size_t i = 0; i < cfg_.associativity; ++i) {
+    Way& w = ways_[base + i];
+    if (w.valid && w.line == line) return &w;
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::find(Addr line) const {
+  return const_cast<Cache*>(this)->find(line);
+}
+
+LookupResult Cache::lookup(Addr addr, bool is_write) {
+  const Addr line = line_of(addr);
+  Way* w = find(line);
+  if (w != nullptr) {
+    w->lru = ++lru_clock_;
+    if (is_write) w->dirty = true;
+    if (is_write) {
+      ++stats_.write_hits;
+    } else {
+      ++stats_.read_hits;
+    }
+    return {.hit = true};
+  }
+  if (is_write) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+  return {.hit = false};
+}
+
+bool Cache::probe(Addr addr) const { return find(line_of(addr)) != nullptr; }
+
+InsertResult Cache::insert(Addr addr, bool dirty) {
+  const Addr line = line_of(addr);
+  InsertResult result;
+  if (Way* existing = find(line)) {
+    // Refill raced with an earlier install (e.g. two L1s missing on the
+    // same L2 line): just refresh.
+    existing->lru = ++lru_clock_;
+    existing->dirty = existing->dirty || dirty;
+    return result;
+  }
+  const std::size_t base = set_of(line) * cfg_.associativity;
+  Way* victim = nullptr;
+  for (std::size_t i = 0; i < cfg_.associativity; ++i) {
+    Way& w = ways_[base + i];
+    if (!w.valid) {
+      victim = &w;
+      break;
+    }
+    if (victim == nullptr || w.lru < victim->lru) victim = &w;
+  }
+  assert(victim != nullptr);
+  if (victim->valid) {
+    result.evicted = true;
+    result.evicted_dirty = victim->dirty;
+    result.evicted_line_addr = victim->line;
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.dirty_evictions;
+  }
+  victim->line = line;
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->lru = ++lru_clock_;
+  return result;
+}
+
+std::vector<Addr> Cache::flush() {
+  std::vector<Addr> dirty;
+  for (Way& w : ways_) {
+    if (w.valid && w.dirty) dirty.push_back(w.line);
+    w.valid = false;
+    w.dirty = false;
+  }
+  return dirty;
+}
+
+std::optional<bool> Cache::invalidate(Addr addr) {
+  Way* w = find(line_of(addr));
+  if (w == nullptr) return std::nullopt;
+  const bool was_dirty = w->dirty;
+  w->valid = false;
+  w->dirty = false;
+  return was_dirty;
+}
+
+std::size_t Cache::valid_lines() const {
+  std::size_t n = 0;
+  for (const Way& w : ways_) n += w.valid ? 1 : 0;
+  return n;
+}
+
+std::size_t Cache::dirty_lines() const {
+  std::size_t n = 0;
+  for (const Way& w : ways_) n += (w.valid && w.dirty) ? 1 : 0;
+  return n;
+}
+
+}  // namespace mot3d::mem

@@ -1,0 +1,119 @@
+// Set-associative cache with true-LRU replacement and write-back /
+// write-allocate policy.  Used for the private L1 I/D caches (Table I:
+// 4 KB, 32 B line, 4-way, LRU) and for each stacked L2 SRAM bank (64 KB,
+// 32 B line, 8-way).
+//
+// The cache stores *line identities* (full line address) as tags, so two
+// lines that alias into the same bank after power-gating remap coexist and
+// compete for ways — exactly the behaviour the paper relies on ("the old
+// cache data ... will be removed by the cache replacement policy").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mot3d::mem {
+
+/// Cache organisation.  `index_shift` selects which line-address bit the
+/// set index starts at: 0 for a private L1; log2(total banks) for an L2
+/// bank, whose low line bits are the (fixed) bank-interleave bits.
+struct CacheConfig {
+  std::size_t capacity_bytes = 4 * 1024;
+  std::size_t line_bytes = 32;
+  std::size_t associativity = 4;
+  unsigned index_shift = 0;
+
+  std::size_t num_lines() const { return capacity_bytes / line_bytes; }
+  std::size_t num_sets() const { return num_lines() / associativity; }
+};
+
+/// Outcome of a lookup-and-touch.
+struct LookupResult {
+  bool hit = false;
+};
+
+/// Outcome of inserting a line after a refill.
+struct InsertResult {
+  bool evicted = false;        ///< a valid line was displaced
+  bool evicted_dirty = false;  ///< ... and it was dirty (needs write-back)
+  Addr evicted_line_addr = 0;  ///< full byte address of the displaced line
+};
+
+/// Aggregate counters.
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  std::uint64_t accesses() const {
+    return read_hits + read_misses + write_hits + write_misses;
+  }
+  std::uint64_t misses() const { return read_misses + write_misses; }
+  double miss_rate() const {
+    const auto a = accesses();
+    return a == 0 ? 0.0 : static_cast<double>(misses()) / static_cast<double>(a);
+  }
+};
+
+/// The cache proper.  Timing is modelled by the caller; this class is the
+/// pure content/replacement state machine, which keeps it unit-testable.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Look up `addr`; on hit, touches LRU and (for writes) sets dirty.
+  /// Does NOT allocate on miss — the caller fetches the line and calls
+  /// insert() when the refill arrives.
+  LookupResult lookup(Addr addr, bool is_write);
+
+  /// Non-destructive presence check (no LRU update, no stats).
+  bool probe(Addr addr) const;
+
+  /// Install the line containing `addr`, evicting the LRU way if the set
+  /// is full.  `dirty` marks the new line dirty immediately (write-allocate
+  /// for a store miss, or an L1 write-back landing in the L2).
+  InsertResult insert(Addr addr, bool dirty);
+
+  /// Remove all lines; returns the full addresses of dirty lines (the
+  /// write-back set the reconfiguration manager must push to DRAM before
+  /// power-gating this bank).
+  std::vector<Addr> flush();
+
+  /// Invalidate a single line if present; returns whether it was dirty.
+  std::optional<bool> invalidate(Addr addr);
+
+  /// Number of currently valid lines (for occupancy checks in tests).
+  std::size_t valid_lines() const;
+  /// Number of currently dirty lines.
+  std::size_t dirty_lines() const;
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Way {
+    Addr line = 0;       ///< full line-aligned byte address (identity tag)
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  ///< larger == more recently used
+  };
+
+  Addr line_of(Addr addr) const { return addr & ~static_cast<Addr>(cfg_.line_bytes - 1); }
+  std::size_t set_of(Addr line) const;
+  Way* find(Addr line);
+  const Way* find(Addr line) const;
+
+  CacheConfig cfg_;
+  unsigned line_shift_;
+  std::vector<Way> ways_;      ///< num_sets * associativity, set-major
+  std::uint64_t lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace mot3d::mem

@@ -1,0 +1,101 @@
+#include "mem/dram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mot3d::mem {
+
+double dram_latency_ns(DramPreset preset) {
+  switch (preset) {
+    case DramPreset::kDdr3_200ns: return 200.0;
+    case DramPreset::kWideIo_63ns: return 63.0;
+    case DramPreset::kWeis3d_42ns: return 42.0;
+  }
+  return 200.0;
+}
+
+const char* dram_preset_name(DramPreset preset) {
+  switch (preset) {
+    case DramPreset::kDdr3_200ns: return "off-chip DDR3 (200ns)";
+    case DramPreset::kWideIo_63ns: return "3-D Wide I/O (63ns)";
+    case DramPreset::kWeis3d_42ns: return "3-D DRAM Weis (42ns)";
+  }
+  return "?";
+}
+
+DramBackend::DramBackend(const DramConfig& cfg, std::size_t num_requesters)
+    : cfg_(cfg), queues_(num_requesters) {
+  if (num_requesters == 0) throw std::invalid_argument("need >= 1 requester");
+}
+
+void DramBackend::read(std::uint32_t requester, Addr addr, Cycle now, Callback cb) {
+  queues_.at(requester).push_back(
+      Txn{requester, addr, /*is_write=*/false, now, std::move(cb)});
+  ++pending_count_;
+}
+
+void DramBackend::write(std::uint32_t requester, Addr addr, Cycle now) {
+  queues_.at(requester).push_back(Txn{requester, addr, /*is_write=*/true, now, {}});
+  ++pending_count_;
+}
+
+Cycle DramBackend::access_latency_cycles(Addr addr) {
+  double latency = cfg_.access_latency_ns;  // 1 ns == 1 cycle at 1 GHz
+  if (cfg_.open_page_policy) {
+    const Addr page = addr / cfg_.page_bytes;
+    if (page == open_page_) {
+      latency *= (1.0 - cfg_.row_hit_fraction_saved);
+      ++stats_.page_hits;
+    } else {
+      ++stats_.page_misses;
+    }
+    open_page_ = page;
+  }
+  return static_cast<Cycle>(std::llround(latency));
+}
+
+void DramBackend::tick(Cycle now) {
+  // Fire completions due now (or earlier, defensively).
+  while (!completions_.empty() && completions_.top().due <= now) {
+    Completion c = completions_.top();
+    completions_.pop();
+    --in_flight_;
+    if (c.cb) c.cb(c.requester, c.addr, now);
+  }
+
+  // Miss-bus arbitration: one grant per bus-free window, round-robin over
+  // requester queues (the paper's round-robin line-refill policy).
+  if (bus_free_at_ > now || pending_count_ == 0) return;
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t q = (rr_next_ + i) % n;
+    if (queues_[q].empty()) continue;
+    Txn txn = std::move(queues_[q].front());
+    queues_[q].pop_front();
+    --pending_count_;
+    rr_next_ = (q + 1) % n;
+
+    stats_.total_wait_cycles += now - txn.enqueued;
+    bus_free_at_ = now + cfg_.bus_transfer_cycles;
+
+    // Channel serialisation at the controller.
+    const Cycle start = std::max(now + cfg_.bus_transfer_cycles, channel_free_at_);
+    channel_free_at_ = start + cfg_.channel_burst_cycles;
+    stats_.dynamic_energy_pj += cfg_.energy_per_access_pj;
+
+    if (txn.is_write) {
+      ++stats_.writes;
+      // Posted: occupies bandwidth only.
+    } else {
+      ++stats_.reads;
+      const Cycle done = start + access_latency_cycles(txn.addr);
+      completions_.push(Completion{done, txn.requester, txn.addr, std::move(txn.cb)});
+      ++in_flight_;
+    }
+    break;  // one bus grant per cycle window
+  }
+}
+
+bool DramBackend::idle() const { return pending_count_ == 0 && in_flight_ == 0; }
+
+}  // namespace mot3d::mem

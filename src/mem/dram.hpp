@@ -1,0 +1,117 @@
+// Off-cluster DRAM backend: the round-robin Miss bus plus a single DRAM
+// controller (Table I: one controller, 2 Gb, 4 KB page).
+//
+// Three latency presets from the paper:
+//   * 200 ns — off-chip 2-D DDR3 SDRAM [18]
+//   *  63 ns — on-chip 3-D Wide I/O SDR DRAM, JEDEC JESD229 [17]
+//   *  42 ns — on-chip 3-D DRAM after Weis et al. [16]
+//
+// Requesters (the 32 L2 banks and, for instruction-miss line refills, the
+// 16 cores — the paper's "Miss bus handles line refills in a round-robin
+// manner") contend for the bus; the controller serialises bursts on one
+// channel.  An optional open-page model refines the fixed latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mot3d::mem {
+
+/// DRAM latency presets used across the paper's figures.
+enum class DramPreset : std::uint8_t {
+  kDdr3_200ns,    ///< off-chip 2-D DRAM [18]
+  kWideIo_63ns,   ///< JEDEC Wide I/O [17]
+  kWeis3d_42ns,   ///< Weis 3-D DRAM [16]
+};
+
+double dram_latency_ns(DramPreset preset);
+const char* dram_preset_name(DramPreset preset);
+
+struct DramConfig {
+  double access_latency_ns = 200.0;   ///< request-to-data latency
+  unsigned channel_burst_cycles = 2;  ///< 32 B line over a DDR3-1600 channel
+  unsigned bus_transfer_cycles = 2;   ///< Miss-bus occupancy per transaction
+  std::size_t page_bytes = 4096;      ///< Table I page size
+  bool open_page_policy = false;      ///< row-hit shortcut (off: fixed)
+  double row_hit_fraction_saved = 0.35;
+  std::size_t capacity_bytes = 256ull * 1024 * 1024;  ///< 2 Gb
+  double energy_per_access_pj = 8000.0;  ///< tracked, excluded from EDP
+};
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t page_hits = 0;
+  std::uint64_t page_misses = 0;
+  std::uint64_t total_wait_cycles = 0;  ///< queueing before service
+  double dynamic_energy_pj = 0.0;
+};
+
+/// Miss bus + controller, cycle-driven.
+///
+/// Requesters enqueue (requester id, address, read/write) and — for reads —
+/// receive a completion callback when the line has been fetched.  Writes
+/// (dirty write-backs) are posted: they consume bus and channel bandwidth
+/// but complete silently.
+class DramBackend {
+ public:
+  /// Callback: (requester, addr, completion cycle).
+  using Callback = std::function<void(std::uint32_t, Addr, Cycle)>;
+
+  DramBackend(const DramConfig& cfg, std::size_t num_requesters);
+
+  /// Enqueue a line read for `requester`; `cb` fires from tick() on the
+  /// cycle the data is back at the cluster boundary.
+  void read(std::uint32_t requester, Addr addr, Cycle now, Callback cb);
+
+  /// Post a line write-back (no completion callback).
+  void write(std::uint32_t requester, Addr addr, Cycle now);
+
+  /// Advance one cycle: run bus arbitration, start channel bursts, fire
+  /// completions due at `now`.
+  void tick(Cycle now);
+
+  /// True when no transaction is queued or in flight (used to detect
+  /// end-of-run and reconfiguration drain).
+  bool idle() const;
+
+  const DramStats& stats() const { return stats_; }
+  const DramConfig& config() const { return cfg_; }
+
+ private:
+  struct Txn {
+    std::uint32_t requester = 0;
+    Addr addr = 0;
+    bool is_write = false;
+    Cycle enqueued = 0;
+    Callback cb;  ///< empty for writes
+  };
+  struct Completion {
+    Cycle due;
+    std::uint32_t requester;
+    Addr addr;
+    Callback cb;
+    bool operator>(const Completion& o) const { return due > o.due; }
+  };
+
+  /// Latency for one access honouring the page policy.
+  Cycle access_latency_cycles(Addr addr);
+
+  DramConfig cfg_;
+  std::vector<std::deque<Txn>> queues_;  ///< one per requester (Miss bus RR)
+  std::size_t rr_next_ = 0;
+  std::size_t pending_count_ = 0;
+  Cycle bus_free_at_ = 0;
+  Cycle channel_free_at_ = 0;
+  Addr open_page_ = kNeverCycle;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions_;
+  std::size_t in_flight_ = 0;
+  DramStats stats_;
+};
+
+}  // namespace mot3d::mem

@@ -1,0 +1,136 @@
+#include "mem/l2_system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mot3d::mem {
+
+L2System::L2System(const L2Config& cfg, DramBackend& dram, std::uint32_t dram_requester_base)
+    : cfg_(cfg), dram_(dram), dram_base_(dram_requester_base) {
+  if (!is_pow2(cfg.total_banks)) {
+    throw std::invalid_argument("bank count must be a power of two");
+  }
+  const CacheConfig cc{
+      .capacity_bytes = cfg.bank_capacity_bytes,
+      .line_bytes = cfg.line_bytes,
+      .associativity = cfg.associativity,
+      // Skip the bank-interleave bits when indexing sets inside a bank.
+      .index_shift = log2_exact(cfg.total_banks),
+  };
+  banks_.reserve(cfg.total_banks);
+  for (std::size_t i = 0; i < cfg.total_banks; ++i) banks_.emplace_back(cc);
+  active_.assign(cfg.total_banks, true);
+}
+
+void L2System::deliver(const MemRequest& req, Cycle now) {
+  assert(req.bank < banks_.size());
+  assert(active_[req.bank] && "request routed to a power-gated bank");
+  banks_[req.bank].in_queue.push_back(PendingAccess{req, now});
+}
+
+void L2System::on_refill(BankId bank_id, const MemRequest& req, Cycle now) {
+  Bank& bank = banks_[bank_id];
+  --bank.misses_in_flight;
+  const InsertResult ins = bank.cache.insert(req.addr, /*dirty=*/req.is_write);
+  stats_.dynamic_energy_pj += cfg_.write_energy_pj;  // fill write
+  if (ins.evicted_dirty) {
+    ++stats_.writebacks;
+    stats_.dynamic_energy_pj += cfg_.read_energy_pj;  // victim read-out
+    dram_.write(dram_base_ + bank_id, ins.evicted_line_addr, now);
+  }
+  MemResponse resp{
+      .id = req.id,
+      .core = req.core,
+      .bank = bank_id,
+      .addr = req.addr,
+      .is_write = req.is_write,
+      .l2_hit = false,
+      .issue_cycle = req.issue_cycle,
+  };
+  bank.out_queue.push_back(ReadyResponse{resp, now + cfg_.access_cycles});
+}
+
+void L2System::tick(Cycle now) {
+  for (BankId b = 0; b < banks_.size(); ++b) {
+    Bank& bank = banks_[b];
+
+    // Start the next access when the bank array is free.
+    if (!bank.in_queue.empty() && bank.busy_until <= now) {
+      PendingAccess pa = bank.in_queue.front();
+      bank.in_queue.pop_front();
+      stats_.bank_conflict_cycles += now - pa.arrived;
+      bank.busy_until = now + cfg_.service_cycles;
+
+      const LookupResult lr = bank.cache.lookup(pa.req.addr, pa.req.is_write);
+      stats_.dynamic_energy_pj +=
+          pa.req.is_write ? cfg_.write_energy_pj : cfg_.read_energy_pj;
+      if (lr.hit) {
+        ++stats_.hits;
+        MemResponse resp{
+            .id = pa.req.id,
+            .core = pa.req.core,
+            .bank = b,
+            .addr = pa.req.addr,
+            .is_write = pa.req.is_write,
+            .l2_hit = true,
+            .issue_cycle = pa.req.issue_cycle,
+        };
+        bank.out_queue.push_back(ReadyResponse{resp, now + cfg_.access_cycles});
+      } else {
+        ++stats_.misses;
+        ++bank.misses_in_flight;
+        // Tag check took access_cycles; then the line refill goes out on
+        // the round-robin Miss bus.
+        const MemRequest req = pa.req;
+        dram_.read(dram_base_ + b, pa.req.addr, now + cfg_.access_cycles,
+                   [this, b, req](std::uint32_t, Addr, Cycle done) {
+                     on_refill(b, req, done);
+                   });
+      }
+    }
+
+    // Push ready responses into the interconnect, preserving order.
+    while (!bank.out_queue.empty() && bank.out_queue.front().due <= now) {
+      if (!injector_ || !injector_(bank.out_queue.front().resp, now)) break;
+      bank.out_queue.pop_front();
+    }
+  }
+}
+
+bool L2System::idle() const {
+  for (const Bank& bank : banks_) {
+    if (!bank.in_queue.empty() || !bank.out_queue.empty() || bank.misses_in_flight > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void L2System::set_active_banks(const std::vector<bool>& active) {
+  if (active.size() != banks_.size()) {
+    throw std::invalid_argument("active mask size mismatch");
+  }
+  active_ = active;
+}
+
+std::size_t L2System::num_active_banks() const {
+  std::size_t n = 0;
+  for (bool a : active_) n += a ? 1 : 0;
+  return n;
+}
+
+std::vector<Addr> L2System::flush_bank(BankId b) {
+  return banks_.at(b).cache.flush();
+}
+
+std::size_t L2System::dirty_lines(BankId b) const {
+  return banks_.at(b).cache.dirty_lines();
+}
+
+std::size_t L2System::resident_lines() const {
+  std::size_t n = 0;
+  for (const Bank& bank : banks_) n += bank.cache.valid_lines();
+  return n;
+}
+
+}  // namespace mot3d::mem

@@ -1,0 +1,135 @@
+// Multi-banked shared L2 cache stacked over the core tier (paper Fig. 1).
+//
+// 32 SRAM banks of 64 KB on two stacked tiers (Table I), line-interleaved:
+// the logical bank index is the low log2(banks) bits of the line address.
+// Each bank is an independent Cache (tags store full line identity, so
+// lines that alias after power-gating remap coexist) with its own input
+// queue, busy/occupancy model and DRAM miss handling through the shared
+// round-robin Miss bus.
+//
+// The L2System is interconnect-agnostic: requests arrive via deliver()
+// already carrying the *physical* bank id (the MoT routing switches, or
+// their simulated equivalent, perform the logical->physical remap), and
+// responses leave through an injection callback that may exert
+// back-pressure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/messages.hpp"
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+
+namespace mot3d::mem {
+
+struct L2Config {
+  std::size_t total_banks = 32;       ///< physical banks present on the stack
+  std::size_t line_bytes = 32;
+  std::size_t bank_capacity_bytes = 64 * 1024;
+  std::size_t associativity = 8;
+  unsigned access_cycles = 3;         ///< array access incl. bank interface
+  unsigned service_cycles = 2;        ///< bank occupancy between accesses
+  double read_energy_pj = 40.0;       ///< from the CACTI-lite model
+  double write_energy_pj = 44.0;
+  double leakage_mw_per_bank = 1.3;
+};
+
+struct L2Stats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;       ///< dirty evictions pushed to DRAM
+  std::uint64_t bank_conflict_cycles = 0;  ///< cycles requests waited on busy banks
+  double dynamic_energy_pj = 0.0;
+
+  std::uint64_t accesses() const { return hits + misses; }
+  double hit_rate() const {
+    const auto a = accesses();
+    return a == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(a);
+  }
+};
+
+/// The stacked L2: banks + miss path.  Cycle-driven via tick().
+class L2System {
+ public:
+  /// Tries to hand a response to the interconnect; returns false if the
+  /// bank's response port is blocked this cycle.
+  using ResponseInjector = std::function<bool(const MemResponse&, Cycle)>;
+
+  /// `dram_requester_base`: this system uses DRAM requester ids
+  /// [base, base + total_banks) on the shared Miss bus.
+  L2System(const L2Config& cfg, DramBackend& dram, std::uint32_t dram_requester_base = 0);
+
+  void set_response_injector(ResponseInjector injector) {
+    injector_ = std::move(injector);
+  }
+
+  /// Interconnect delivers a request whose `bank` is the physical bank.
+  void deliver(const MemRequest& req, Cycle now);
+
+  /// Advance one cycle: start bank accesses, retire completed ones, push
+  /// ready responses into the interconnect.
+  void tick(Cycle now);
+
+  /// All queues empty and no access or miss in flight.
+  bool idle() const;
+
+  /// Which banks are powered (affects leakage accounting and asserts that
+  /// no request reaches a gated bank).  Does not move data — use flush().
+  void set_active_banks(const std::vector<bool>& active);
+  const std::vector<bool>& active_banks() const { return active_; }
+  std::size_t num_active_banks() const;
+
+  /// Drop every line in bank `b`, returning dirty line addresses that the
+  /// caller must write back before gating the bank.
+  std::vector<Addr> flush_bank(BankId b);
+
+  /// Dirty-line count of a bank (reconfiguration cost estimation).
+  std::size_t dirty_lines(BankId b) const;
+
+  /// Valid lines currently resident across all banks — the observable
+  /// working-set footprint a power-state policy reasons about.
+  std::size_t resident_lines() const;
+
+  const L2Stats& stats() const { return stats_; }
+  const L2Config& config() const { return cfg_; }
+  const CacheStats& bank_cache_stats(BankId b) const { return banks_.at(b).cache.stats(); }
+
+  /// Leakage power of the currently-powered banks, mW.
+  double leakage_mw() const {
+    return static_cast<double>(num_active_banks()) * cfg_.leakage_mw_per_bank;
+  }
+
+ private:
+  struct PendingAccess {
+    MemRequest req;
+    Cycle arrived = 0;
+  };
+  struct ReadyResponse {
+    MemResponse resp;
+    Cycle due = 0;  ///< earliest cycle it may leave the bank
+  };
+  struct Bank {
+    explicit Bank(const CacheConfig& cc) : cache(cc) {}
+    Cache cache;
+    std::deque<PendingAccess> in_queue;
+    std::deque<ReadyResponse> out_queue;
+    Cycle busy_until = 0;
+    std::size_t misses_in_flight = 0;
+  };
+
+  void on_refill(BankId bank, const MemRequest& req, Cycle now);
+
+  L2Config cfg_;
+  DramBackend& dram_;
+  std::uint32_t dram_base_;
+  std::vector<Bank> banks_;
+  std::vector<bool> active_;
+  ResponseInjector injector_;
+  L2Stats stats_;
+};
+
+}  // namespace mot3d::mem

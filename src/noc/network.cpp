@@ -1,0 +1,239 @@
+#include "noc/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mot3d::noc {
+
+NocNetwork::NocNetwork(const NocConfig& cfg)
+    : cfg_(cfg), endpoints_(cfg.num_endpoints()) {}
+
+std::uint32_t NocNetwork::add_router(std::size_t num_ports) {
+  Router r;
+  r.in.resize(num_ports);
+  r.out.resize(num_ports);
+  r.route.assign(cfg_.num_endpoints(), 0);
+  routers_.push_back(std::move(r));
+  return static_cast<std::uint32_t>(routers_.size() - 1);
+}
+
+void NocNetwork::set_output(std::uint32_t router, std::uint32_t port, Target target) {
+  routers_.at(router).out.at(port).target = target;
+  if (target.kind == Target::Kind::kRouterPort) total_link_mm_ += target.wire_mm;
+}
+
+std::uint32_t NocNetwork::add_bus(double wire_mm, unsigned cycles_per_flit) {
+  Bus b;
+  b.wire_mm = wire_mm;
+  b.cycles_per_flit = cycles_per_flit == 0 ? 1 : cycles_per_flit;
+  b.route.assign(cfg_.num_endpoints(), Target{});
+  buses_.push_back(std::move(b));
+  return static_cast<std::uint32_t>(buses_.size() - 1);
+}
+
+std::uint32_t NocNetwork::add_bus_attachment(std::uint32_t bus) {
+  Bus& b = buses_.at(bus);
+  b.slots.emplace_back();
+  return static_cast<std::uint32_t>(b.slots.size() - 1);
+}
+
+void NocNetwork::set_bus_route(std::uint32_t bus, NodeId e, Target target) {
+  buses_.at(bus).route.at(e) = target;
+}
+
+void NocNetwork::set_endpoint_injection(NodeId e, Target target,
+                                        std::optional<std::uint32_t> bus_slot) {
+  endpoints_.at(e).injection = target;
+  endpoints_.at(e).bus_slot = bus_slot;
+}
+
+void NocNetwork::set_route(std::uint32_t router, NodeId dst, std::uint32_t out_port) {
+  routers_.at(router).route.at(dst) = out_port;
+}
+
+bool NocNetwork::try_inject(const Packet& p, Cycle now) {
+  EndpointNi& ni = endpoints_.at(p.src);
+  if (ni.inject_q.size() + p.length_flits > EndpointNi::kMaxInjectQ) return false;
+  packets_.emplace(p.id, p);
+  for (std::size_t f = 0; f < p.length_flits; ++f) {
+    Flit flit;
+    flit.packet = p.id;
+    flit.dst = p.dst;
+    flit.head = (f == 0);
+    flit.tail = (f + 1 == p.length_flits);
+    flit.vc = p.kind == PacketKind::kRequest ? kRequestVc : kResponseVc;
+    flit.ready_at = now;
+    ni.inject_q.push_back(flit);
+  }
+  return true;
+}
+
+bool NocNetwork::router_in_has_space(std::uint32_t router, std::uint32_t port,
+                                     std::uint8_t vc) const {
+  return routers_.at(router).in.at(port).q[vc].size() < cfg_.buffer_flits;
+}
+
+void NocNetwork::eject(NodeId e, const Flit& flit, Cycle now) {
+  EndpointNi& ni = endpoints_.at(e);
+  ++ni.assembled;
+  if (!flit.tail) return;
+  ni.assembled = 0;
+  auto it = packets_.find(flit.packet);
+  assert(it != packets_.end());
+  stats_.packet_latency.add(now - it->second.created);
+  ++stats_.packets_delivered;
+  if (delivery_) delivery_(it->second, now);
+  packets_.erase(it);
+}
+
+bool NocNetwork::deliver_to_target(const Target& t, Flit flit, Cycle now) {
+  switch (t.kind) {
+    case Target::Kind::kRouterPort: {
+      if (!router_in_has_space(t.index, t.port, flit.vc)) return false;
+      flit.ready_at = now + cfg_.link_cycles + cfg_.router_pipeline_cycles;
+      routers_[t.index].in[t.port].q[flit.vc].push_back(flit);
+      stats_.flit_link_mm += t.wire_mm;
+      return true;
+    }
+    case Target::Kind::kEndpoint:
+      eject(t.index, flit, now);
+      stats_.flit_link_mm += t.wire_mm;
+      return true;
+    case Target::Kind::kBus: {
+      Bus& bus = buses_[t.index];
+      Bus::Slot& slot = bus.slots.at(t.port);
+      if (slot.q.size() >= cfg_.buffer_flits) return false;
+      flit.ready_at = now + 1;  // bus request/arbitration setup
+      slot.q.push_back(flit);
+      return true;
+    }
+    case Target::Kind::kNone:
+      break;
+  }
+  assert(false && "flit sent into an unwired target");
+  return false;
+}
+
+bool NocNetwork::router_output_step(std::uint32_t ri, std::uint32_t po,
+                                    std::uint8_t vc, Cycle now) {
+  Router& r = routers_[ri];
+  OutPort& op = r.out[po];
+
+  int chosen = -1;
+  if (op.locked_in[vc] >= 0) {
+    // Wormhole: within this virtual network only the owning input sends.
+    InPort& ip = r.in[static_cast<std::size_t>(op.locked_in[vc])];
+    if (!ip.q[vc].empty() && ip.q[vc].front().ready_at <= now) {
+      chosen = op.locked_in[vc];
+    }
+  } else {
+    const std::size_t np = r.in.size();
+    for (std::size_t k = 0; k < np; ++k) {
+      const std::size_t pi = (op.rr + k) % np;
+      InPort& ip = r.in[pi];
+      if (ip.q[vc].empty() || ip.q[vc].front().ready_at > now) continue;
+      if (!ip.q[vc].front().head) continue;  // body flits follow their lock
+      if (r.route.at(ip.q[vc].front().dst) != po) continue;
+      chosen = static_cast<int>(pi);
+      break;
+    }
+  }
+  if (chosen < 0) return false;
+
+  InPort& ip = r.in[static_cast<std::size_t>(chosen)];
+  Flit flit = ip.q[vc].front();
+  if (!deliver_to_target(op.target, flit, now)) return false;  // back-pressure
+  ip.q[vc].pop_front();
+  ++stats_.flit_router_traversals;
+  if (flit.head && !flit.tail) {
+    op.locked_in[vc] = chosen;
+  } else if (flit.tail) {
+    op.locked_in[vc] = -1;
+    op.rr = (static_cast<std::size_t>(chosen) + 1) % r.in.size();
+  }
+  return true;
+}
+
+void NocNetwork::tick(Cycle now) {
+  // 1. Buses: one flit per bus per cycle, wormhole-locked to the granted
+  //    slot so multi-flit packets stay contiguous at the receiving router.
+  //    The lock is *hard*: even if the owning slot has no flit ready this
+  //    cycle, no other slot may use the bus — otherwise two packets
+  //    interleave into one router input queue and break worm framing.
+  for (std::uint32_t bi = 0; bi < buses_.size(); ++bi) {
+    Bus& bus = buses_[bi];
+    const std::size_t n = bus.slots.size();
+    if (n == 0 || bus.busy_until > now) continue;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t s = bus.locked_slot >= 0
+                                ? static_cast<std::size_t>(bus.locked_slot)
+                                : (bus.rr + k) % n;
+      Bus::Slot& slot = bus.slots[s];
+      if (bus.locked_slot < 0 && (slot.q.empty() || slot.q.front().ready_at > now ||
+                                  !slot.q.front().head)) {
+        continue;  // unlocked bus only grants a fresh head flit
+      }
+      if (slot.q.empty() || slot.q.front().ready_at > now) break;  // hold bus
+      const Flit& head = slot.q.front();
+      const Target& t = bus.route.at(head.dst);
+      Flit moving = head;
+      if (!deliver_to_target(t, moving, now)) break;  // blocked: hold the bus
+      slot.q.pop_front();
+      ++stats_.flit_bus_transfers;
+      bus.busy_until = now + bus.cycles_per_flit;
+      if (moving.tail) {
+        bus.locked_slot = -1;
+        bus.rr = (s + 1) % n;
+      } else {
+        bus.locked_slot = static_cast<int>(s);
+      }
+      break;  // one transfer per bus per slot time
+    }
+  }
+
+  // 2. Routers: every output port moves at most one flit per cycle,
+  //    alternating fairly between the two virtual networks (requests may
+  //    never starve responses, and vice versa).
+  for (std::uint32_t ri = 0; ri < routers_.size(); ++ri) {
+    Router& r = routers_[ri];
+    for (std::uint32_t po = 0; po < r.out.size(); ++po) {
+      OutPort& op = r.out[po];
+      if (op.target.kind == Target::Kind::kNone) continue;
+      const std::uint8_t first = op.vc_rr;
+      for (std::uint8_t i = 0; i < kNumVcs; ++i) {
+        const auto vc = static_cast<std::uint8_t>((first + i) % kNumVcs);
+        if (router_output_step(ri, po, vc, now)) {
+          op.vc_rr = static_cast<std::uint8_t>((vc + 1) % kNumVcs);
+          break;
+        }
+      }
+    }
+  }
+
+  // 3. Endpoint NIs: one flit per cycle enters the fabric.
+  for (NodeId e = 0; e < endpoints_.size(); ++e) {
+    EndpointNi& ni = endpoints_[e];
+    if (ni.inject_q.empty() || ni.inject_q.front().ready_at > now) continue;
+    const Target& t = ni.injection;
+    Flit flit = ni.inject_q.front();
+    if (t.kind == Target::Kind::kRouterPort) {
+      if (!router_in_has_space(t.index, t.port, flit.vc)) continue;
+      flit.ready_at = now + cfg_.router_pipeline_cycles;
+      routers_[t.index].in[t.port].q[flit.vc].push_back(flit);
+      ni.inject_q.pop_front();
+    } else if (t.kind == Target::Kind::kBus) {
+      Bus& bus = buses_[t.index];
+      Bus::Slot& slot = bus.slots.at(*ni.bus_slot);
+      if (slot.q.size() >= cfg_.buffer_flits) continue;
+      flit.ready_at = now + 1;
+      slot.q.push_back(flit);
+      ni.inject_q.pop_front();
+    } else {
+      assert(false && "endpoint without injection wiring");
+    }
+  }
+}
+
+bool NocNetwork::idle() const { return packets_.empty(); }
+
+}  // namespace mot3d::noc

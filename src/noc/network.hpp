@@ -1,0 +1,178 @@
+// Flit-level cycle-driven NoC fabric: wormhole routers, TSV buses, network
+// interfaces, plus builders for the paper's three packet-switched 3-D
+// baselines (True 3-D Mesh, Hybrid Bus-Mesh [2], Hybrid Bus-Tree [21]).
+//
+// Router micro-architecture: input-buffered, one flit per output per cycle,
+// round-robin switch allocation, wormhole output locking (head locks, tail
+// releases), table-based routing (XYZ dimension-order for the mesh, up*/
+// down* on the tree — both deadlock-free), `router_pipeline_cycles` of
+// per-hop latency plus `link_cycles` of wire latency.  Back-pressure is by
+// buffer occupancy at the downstream input.  Endpoint ejection is always
+// accepted (sink consumption), which rules out protocol deadlock between
+// request and response traffic.
+//
+// TSV buses carry one flit per cycle, round-robin among their attachments —
+// the "dTDMA bus" of ref [2]; in the Bus-Tree topology each bus is shared
+// by eight stacked banks, which is exactly the serialisation that makes it
+// the worst performer in the paper's Fig. 6.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace mot3d::noc {
+
+struct NocConfig {
+  std::size_t num_cores = 16;
+  std::size_t num_banks = 32;
+  std::size_t buffer_flits = 4;          ///< per router input port, per VC
+  unsigned router_pipeline_cycles = 1;   ///< speculative single-cycle router
+  unsigned link_cycles = 1;
+  std::size_t flit_bits = 128;           ///< link width of the baselines
+  std::size_t line_bytes = 32;
+  /// dTDMA TSV-bus slot times (arbitration + turnaround between masters;
+  /// ref [2]'s bus is time-multiplexed among all attached tiers).  The
+  /// Bus-Tree's quadrant buses carry 9 drops over two tiers, so their slot
+  /// time is longer — the physical root of the paper's Fig. 6 finding.
+  unsigned pillar_bus_cycles_per_flit = 2;   ///< Bus-Mesh: 3-drop pillar
+  unsigned quadrant_bus_cycles_per_flit = 4; ///< Bus-Tree: 9-drop quadrant
+  double mesh_pitch_mm = 1.25;           ///< 5 mm die / 4 columns
+  double tree_link_mm = 1.25;
+
+  std::size_t line_flits() const { return line_bytes * 8 / flit_bits; }
+  std::size_t num_endpoints() const { return num_cores + num_banks; }
+};
+
+struct NocTransportStats {
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t flit_router_traversals = 0;  ///< buffer+xbar energy events
+  std::uint64_t flit_bus_transfers = 0;
+  double flit_link_mm = 0.0;                 ///< wire-length-weighted flits
+  Histogram packet_latency{1, 512};
+};
+
+/// Where an output port / bus grant sends a flit.
+struct Target {
+  enum class Kind : std::uint8_t { kNone, kRouterPort, kEndpoint, kBus };
+  Kind kind = Kind::kNone;
+  std::uint32_t index = 0;  ///< router id / endpoint id / bus id
+  std::uint32_t port = 0;   ///< router input port (kRouterPort only)
+  double wire_mm = 0.0;     ///< physical link length (energy accounting)
+};
+
+/// The assembled network.  Topology builders populate the graph; the
+/// NocInterconnect adapter drives inject/tick/delivery.
+class NocNetwork {
+ public:
+  explicit NocNetwork(const NocConfig& cfg);
+
+  // ---- construction (builders only) ----
+  /// Adds a router with `num_ports` ports; returns its id.
+  std::uint32_t add_router(std::size_t num_ports);
+  /// Wire router output (r, port) to `target`.
+  void set_output(std::uint32_t router, std::uint32_t port, Target target);
+  /// Adds a TSV bus; returns its id.  Attachments are added separately.
+  /// `cycles_per_flit` is the dTDMA slot time: a lightly-loaded 3-drop
+  /// pillar (Bus-Mesh) moves a flit every 2 cycles; a 9-drop quadrant bus
+  /// (Bus-Tree) pays more capacitive load and a longer TDMA frame.
+  std::uint32_t add_bus(double wire_mm, unsigned cycles_per_flit);
+  /// Attach a sender to the bus: flits from this slot are arbitrated RR.
+  /// Returns the attachment slot id used with bus_push.
+  std::uint32_t add_bus_attachment(std::uint32_t bus);
+  /// Where the bus delivers flits destined to endpoint `e`.
+  void set_bus_route(std::uint32_t bus, NodeId e, Target target);
+  /// Attach endpoint `e`'s injection to a router input port or a bus slot.
+  void set_endpoint_injection(NodeId e, Target target,
+                              std::optional<std::uint32_t> bus_slot = {});
+  /// Routing table entry: at `router`, packets for endpoint `dst` leave by
+  /// `out_port`.
+  void set_route(std::uint32_t router, NodeId dst, std::uint32_t out_port);
+
+  // ---- runtime ----
+  using Delivery = std::function<void(const Packet&, Cycle)>;
+  void set_delivery(Delivery d) { delivery_ = std::move(d); }
+
+  /// Queue `p` at its source endpoint NI; false if the NI queue is full.
+  bool try_inject(const Packet& p, Cycle now);
+
+  void tick(Cycle now);
+  bool idle() const;
+
+  const NocConfig& config() const { return cfg_; }
+  const NocTransportStats& transport_stats() const { return stats_; }
+  std::size_t num_routers() const { return routers_.size(); }
+  std::size_t num_buses() const { return buses_.size(); }
+
+  /// Total link wire in the topology (leakage accounting), mm.
+  double total_link_mm() const { return total_link_mm_; }
+
+ private:
+  struct InPort {
+    std::array<std::deque<Flit>, kNumVcs> q;  ///< one buffer per virtual net
+  };
+  struct OutPort {
+    Target target;
+    std::array<int, kNumVcs> locked_in{-1, -1};  ///< wormhole lock per VC
+    std::uint32_t rr = 0;      ///< round-robin pointer over inputs
+    std::uint8_t vc_rr = 0;    ///< round-robin between virtual networks
+  };
+  struct Router {
+    std::vector<InPort> in;
+    std::vector<OutPort> out;
+    std::vector<std::uint32_t> route;  ///< per endpoint -> out port
+  };
+  struct Bus {
+    struct Slot {
+      std::deque<Flit> q;
+    };
+    std::vector<Slot> slots;
+    std::uint32_t rr = 0;
+    int locked_slot = -1;  ///< wormhole: slot owning the bus until tail
+    Cycle busy_until = 0;  ///< dTDMA slot pacing
+    unsigned cycles_per_flit = 2;
+    std::vector<Target> route;  ///< per endpoint -> delivery target
+    double wire_mm = 0.0;
+  };
+  struct EndpointNi {
+    Target injection;                      ///< router port or bus slot
+    std::optional<std::uint32_t> bus_slot; ///< slot id when injecting via bus
+    std::deque<Flit> inject_q;
+    std::size_t assembled = 0;             ///< flits of the arriving packet
+    static constexpr std::size_t kMaxInjectQ = 64;
+  };
+
+  bool deliver_to_target(const Target& t, Flit flit, Cycle now);
+  void eject(NodeId e, const Flit& flit, Cycle now);
+  bool router_in_has_space(std::uint32_t router, std::uint32_t port,
+                           std::uint8_t vc) const;
+  /// Try to move one flit of virtual network `vc` through output `po` of
+  /// router `ri`; returns true if a flit moved.
+  bool router_output_step(std::uint32_t ri, std::uint32_t po, std::uint8_t vc,
+                          Cycle now);
+
+  NocConfig cfg_;
+  std::vector<Router> routers_;
+  std::vector<Bus> buses_;
+  std::vector<EndpointNi> endpoints_;
+  std::unordered_map<PacketId, Packet> packets_;
+  Delivery delivery_;
+  NocTransportStats stats_;
+  double total_link_mm_ = 0.0;
+};
+
+/// Builders for the paper's three baselines (16 cores, 32 banks over two
+/// stacked tiers).  Each returns a fully wired network.
+NocNetwork build_true_mesh_3d(const NocConfig& cfg);
+NocNetwork build_hybrid_bus_mesh(const NocConfig& cfg);
+NocNetwork build_hybrid_bus_tree(const NocConfig& cfg);
+
+}  // namespace mot3d::noc

@@ -1,0 +1,53 @@
+// Interconnect adapter over the flit-level NoC fabric: packetises L2
+// transactions, drives the network, and accounts energy with the Liao-He /
+// Orion-class coefficients.
+#pragma once
+
+#include <memory>
+
+#include "common/interconnect.hpp"
+#include "noc/network.hpp"
+#include "power/interconnect_power.hpp"
+
+namespace mot3d::noc {
+
+/// Which baseline to instantiate.
+enum class NocTopology { kTrueMesh3d, kHybridBusMesh, kHybridBusTree };
+
+const char* topology_name(NocTopology t);
+
+class NocInterconnect final : public Interconnect {
+ public:
+  NocInterconnect(NocTopology topology, const NocConfig& cfg,
+                  const power::InterconnectPowerModel& power);
+
+  const char* name() const override { return topology_name(topology_); }
+
+  bool try_inject_request(const MemRequest& req, Cycle now) override;
+  bool try_inject_response(const MemResponse& resp, Cycle now) override;
+  void tick(Cycle now) override;
+  bool idle() const override { return net_.idle(); }
+
+  double dynamic_energy_pj() const override;
+  double leakage_mw() const override;
+
+  const NocNetwork& network() const { return net_; }
+  NocTopology topology() const { return topology_; }
+
+ private:
+  NodeId core_node(CoreId c) const { return c; }
+  NodeId bank_node(BankId b) const {
+    return static_cast<NodeId>(net_.config().num_cores + b);
+  }
+
+  NocTopology topology_;
+  NocNetwork net_;
+  power::InterconnectPowerModel power_;
+  PacketId next_packet_ = 1;
+};
+
+/// Convenience factory.
+std::unique_ptr<NocInterconnect> make_noc(NocTopology topology, const NocConfig& cfg,
+                                          const power::InterconnectPowerModel& power);
+
+}  // namespace mot3d::noc

@@ -1,0 +1,94 @@
+#include "phys/geometry.hpp"
+
+#include "common/types.hpp"
+
+namespace mot3d::phys {
+
+double ClusterGeometry::bank_field_span_mm(std::size_t banks) const {
+  // Two stacked tiers share each landing site column, so `banks` banks
+  // occupy banks/2 sites; span counts sites actually powered.  We keep the
+  // paper's convention of quoting the full per-bank row span (32 banks ->
+  // 4 mm with a 0.125 mm site pitch), which subsumes the 2-tier sharing in
+  // the pitch constant.
+  return fp_.bank_site_pitch_mm * static_cast<double>(banks);
+}
+
+double ClusterGeometry::core_field_span_mm(std::size_t cores) const {
+  return fp_.core_site_pitch_mm * static_cast<double>(cores);
+}
+
+double ClusterGeometry::tree_level_length_mm(double span_mm, std::size_t level) {
+  double len = span_mm / 2.0;
+  for (std::size_t i = 0; i < level; ++i) len /= 2.0;
+  return len;
+}
+
+std::vector<double> ClusterGeometry::routing_tree_levels_mm(std::size_t banks) const {
+  const unsigned levels = banks > 1 ? log2_exact(banks) : 0;
+  const double span = bank_field_span_mm(banks);
+  std::vector<double> out;
+  out.reserve(levels);
+  for (unsigned l = 0; l < levels; ++l) out.push_back(tree_level_length_mm(span, l));
+  return out;
+}
+
+std::vector<double> ClusterGeometry::arbitration_tree_levels_mm(std::size_t cores) const {
+  const unsigned levels = cores > 1 ? log2_exact(cores) : 0;
+  const double span = core_field_span_mm(cores);
+  std::vector<double> out;
+  out.reserve(levels);
+  for (unsigned l = 0; l < levels; ++l) out.push_back(tree_level_length_mm(span, l));
+  return out;
+}
+
+namespace {
+double sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+}  // namespace
+
+double ClusterGeometry::request_path_mm(std::size_t cores, std::size_t banks) const {
+  return fp_.core_to_channel_mm + sum(routing_tree_levels_mm(banks)) +
+         sum(arbitration_tree_levels_mm(cores));
+}
+
+double ClusterGeometry::response_path_mm(std::size_t cores, std::size_t banks) const {
+  // Mirrored network: routed by core index across the core field, collected
+  // per bank across the bank field; same total span.
+  return fp_.core_to_channel_mm + sum(arbitration_tree_levels_mm(cores)) +
+         sum(routing_tree_levels_mm(banks));
+}
+
+double ClusterGeometry::longest_link_mm(std::size_t cores, std::size_t banks) const {
+  // The root level of each tree is the longest single segment; a request
+  // traverses both roots plus the vertical hop (negligible next to mm-scale
+  // horizontal wires but reported for completeness).
+  const double root_r = banks > 1 ? tree_level_length_mm(bank_field_span_mm(banks), 0) : 0.0;
+  const double root_a = cores > 1 ? tree_level_length_mm(core_field_span_mm(cores), 0) : 0.0;
+  return fp_.core_to_channel_mm + root_r + root_a + vertical_mm(2);
+}
+
+double ClusterGeometry::total_network_wire_mm(std::size_t cores, std::size_t banks) const {
+  // Routing trees: one per core, each with `levels` levels; level l has 2^(l+1)
+  // edges of length span/2^(l+1) -> each level contributes `span` mm of wire.
+  const unsigned rt_levels = banks > 1 ? log2_exact(banks) : 0;
+  const unsigned at_levels = cores > 1 ? log2_exact(cores) : 0;
+  const double span_b = bank_field_span_mm(banks);
+  const double span_c = core_field_span_mm(cores);
+  const double per_routing_tree = static_cast<double>(rt_levels) * span_b;
+  const double per_arb_tree = static_cast<double>(at_levels) * span_c;
+  // Request network: cores routing trees + banks arbitration trees.
+  const double request = static_cast<double>(cores) * per_routing_tree +
+                         static_cast<double>(banks) * per_arb_tree;
+  // Response network mirrors it: banks routing trees over the core field +
+  // cores collection trees over the bank field.
+  const double per_resp_routing = static_cast<double>(at_levels) * span_c;
+  const double per_resp_collect = static_cast<double>(rt_levels) * span_b;
+  const double response = static_cast<double>(banks) * per_resp_routing +
+                          static_cast<double>(cores) * per_resp_collect;
+  return request + response;
+}
+
+}  // namespace mot3d::phys

@@ -1,0 +1,79 @@
+// SPLASH-2 application profiles (substitute for ref [12]).
+//
+// The paper's conclusions rest on two per-application axes:
+//
+//  1. *Parallelism scalability* — Fig. 7(b): fmm, radix, ocean_contiguous
+//     and water-nsquared keep scaling to 16 cores (up to 69 % / avg 64 %
+//     faster than on 4 cores), while cholesky, fft, volrend and raytrace
+//     are limited (up to 33 % / avg 19 %).  We encode this as an Amdahl
+//     serial fraction plus per-phase load imbalance around barriers.
+//
+//  2. *L2 capacity demand* — Fig. 7(a): with 8 of 32 banks powered
+//     (PC16-MB8, 512 KB of L2) fft, fmm, volrend, raytrace and
+//     water-nsquared still fit (exec +4.7 % avg) whereas cholesky, radix
+//     and ocean_contiguous thrash (+24 % avg).  We encode this as the
+//     shared working-set size plus a hot-subset locality model.
+//
+// Every other field shapes the memory reference stream (compute/memory mix,
+// read ratio, spatial-run locality, code footprint) to SPLASH-2-like
+// first-order statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mot3d::workload {
+
+struct AppProfile {
+  std::string name;
+
+  // -- parallelism structure --
+  double serial_fraction = 0.05;   ///< Amdahl serial share of total work
+  std::size_t phases = 16;         ///< parallel phases (each barrier-fenced)
+  double imbalance = 0.15;         ///< per-core work jitter within a phase
+
+  // -- instruction mix --
+  double mem_fraction = 0.30;      ///< loads+stores per instruction
+  double read_fraction = 0.70;     ///< loads among memory ops
+  double ifetch_every = 12.0;      ///< one I-fetch record per N instructions
+
+  // -- data footprint / locality --
+  std::size_t working_set_bytes = 256 * 1024;  ///< shared region
+  double hot_fraction = 0.25;      ///< hot subset size / working set
+  double hot_access_prob = 0.55;   ///< P(shared access hits hot subset)
+  double shared_fraction = 0.55;   ///< P(mem op targets shared region)
+  std::size_t private_bytes = 16 * 1024;       ///< per-core private region
+  double seq_run_mean = 8.0;       ///< mean sequential 4 B-word run length
+  /// P(mem op hits the per-core stack/spill region, ~1 KB, L1-resident):
+  /// register-spill and call-frame traffic that gives real codes their
+  /// high L1 temporal locality.
+  double stack_fraction = 0.30;
+  std::size_t stack_bytes = 1024;
+
+  // -- instruction footprint --
+  std::size_t code_bytes = 4 * 1024;
+
+  // -- size --
+  std::uint64_t work_instructions = 2'000'000;  ///< total work at scale 1.0
+
+  /// True if the app keeps scaling to 16 cores (paper's fmm/radix/ocean/
+  /// water group).
+  bool scalable() const { return serial_fraction < 0.15; }
+
+  /// Approximate L2 footprint: shared working set + per-core private data.
+  std::size_t l2_footprint_bytes(std::size_t cores) const {
+    return working_set_bytes + cores * private_bytes;
+  }
+};
+
+/// The eight SPLASH-2 programs the paper evaluates (Figs. 6-8).
+const std::vector<AppProfile>& splash2_profiles();
+
+/// Lookup by name; throws std::out_of_range if unknown.
+const AppProfile& profile_by_name(const std::string& name);
+
+/// Names in the paper's presentation order.
+std::vector<std::string> splash2_names();
+
+}  // namespace mot3d::workload

@@ -1,0 +1,191 @@
+#include "workload/synthetic_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mot3d::workload {
+
+using cpu::TraceKind;
+using cpu::TraceRecord;
+
+PhasePlan PhasePlan::build(const AppProfile& profile, double scale) {
+  PhasePlan plan;
+  const auto total = static_cast<std::uint64_t>(
+      static_cast<double>(profile.work_instructions) * scale);
+  const auto serial_total =
+      static_cast<std::uint64_t>(static_cast<double>(total) * profile.serial_fraction);
+  const std::uint64_t parallel_total = total - serial_total;
+  const std::size_t n = std::max<std::size_t>(profile.phases, 1);
+
+  std::uint32_t bid = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    // Parallel slice then its serial successor, each fenced by a barrier —
+    // the classic SPLASH-2 "compute / reduce" alternation.
+    plan.phases.push_back(Phase{false, parallel_total / n, bid++});
+    const std::uint64_t ser = serial_total / n;
+    if (ser > 0) plan.phases.push_back(Phase{true, ser, bid++});
+  }
+  plan.num_barriers = bid;
+  return plan;
+}
+
+SyntheticTrace::SyntheticTrace(const AppProfile& profile, const PhasePlan& plan,
+                               std::size_t thread, std::size_t num_threads,
+                               std::uint64_t seed)
+    : profile_(profile),
+      plan_(plan),
+      thread_(thread),
+      num_threads_(num_threads == 0 ? 1 : num_threads),
+      seed_(seed),
+      rng_(seed ^ (0x9E3779B97F4A7C15ULL * (thread + 1))),
+      private_ptr_(AddressMap::private_base(thread)),
+      shared_ptr_(AddressMap::kSharedBase),
+      code_ptr_(AddressMap::kCodeBase),
+      stack_ptr_(AddressMap::private_base(thread)) {}
+
+std::uint64_t SyntheticTrace::phase_share(std::size_t phase_idx) const {
+  const PhasePlan::Phase& ph = plan_.phases[phase_idx];
+  if (ph.serial) return thread_ == 0 ? ph.instructions : 0;
+  const double base =
+      static_cast<double>(ph.instructions) / static_cast<double>(num_threads_);
+  // Deterministic per-(phase, thread) jitter models load imbalance; the
+  // slowest core sets the phase length, so imbalance directly hurts
+  // scalability (raytrace/cholesky are the imbalanced ones).
+  SplitMix64 h(seed_ ^ (phase_idx * 0x100000001B3ULL) ^ (thread_ * 0x1000193ULL));
+  const double u =
+      static_cast<double>(h.next() >> 11) * 0x1.0p-53;  // [0,1)
+  const double factor = 1.0 + profile_.imbalance * (2.0 * u - 1.0);
+  return static_cast<std::uint64_t>(std::max(1.0, base * factor));
+}
+
+Addr SyntheticTrace::next_data_addr() {
+  // Stack/spill traffic: a tiny per-core region at the bottom of the
+  // private range, hot enough to live in the L1 permanently.
+  if (rng_.next_bool(profile_.stack_fraction)) {
+    stack_ptr_ += 4;
+    if (stack_ptr_ >= AddressMap::private_base(thread_) + profile_.stack_bytes ||
+        rng_.next_bool(0.2)) {
+      stack_ptr_ = AddressMap::private_base(thread_) +
+                   rng_.next_below(profile_.stack_bytes / 4) * 4;
+    }
+    return stack_ptr_;
+  }
+  const bool shared = rng_.next_bool(profile_.shared_fraction);
+  if (shared) {
+    if (shared_run_ == 0) {
+      const Addr ws = profile_.working_set_bytes;
+      Addr offset;
+      if (rng_.next_bool(profile_.hot_access_prob)) {
+        const Addr hot =
+            std::max<Addr>(64, static_cast<Addr>(static_cast<double>(ws) *
+                                                 profile_.hot_fraction));
+        offset = rng_.next_below(hot / 4) * 4;
+      } else {
+        offset = rng_.next_below(ws / 4) * 4;
+      }
+      shared_ptr_ = AddressMap::kSharedBase + offset;
+      shared_run_ = 1 + static_cast<std::uint32_t>(
+                            rng_.next_below(static_cast<std::uint64_t>(
+                                2.0 * profile_.seq_run_mean)));
+    }
+    --shared_run_;
+    const Addr a = shared_ptr_;
+    shared_ptr_ += 4;
+    if (shared_ptr_ >= AddressMap::kSharedBase + profile_.working_set_bytes) {
+      shared_ptr_ = AddressMap::kSharedBase;
+    }
+    return a;
+  }
+  if (private_run_ == 0) {
+    const Addr offset = rng_.next_below(profile_.private_bytes / 4) * 4;
+    private_ptr_ = AddressMap::private_base(thread_) + offset;
+    private_run_ = 1 + static_cast<std::uint32_t>(rng_.next_below(
+                           static_cast<std::uint64_t>(2.0 * profile_.seq_run_mean)));
+  }
+  --private_run_;
+  const Addr a = private_ptr_;
+  private_ptr_ += 4;
+  if (private_ptr_ >= AddressMap::private_base(thread_) + profile_.private_bytes) {
+    private_ptr_ = AddressMap::private_base(thread_);
+  }
+  return a;
+}
+
+Addr SyntheticTrace::next_code_addr() {
+  // Sequential fetch with occasional taken branches looping inside the
+  // code footprint.
+  if (rng_.next_bool(0.15)) {
+    code_ptr_ = AddressMap::kCodeBase + rng_.next_below(profile_.code_bytes / 32) * 32;
+  } else {
+    code_ptr_ += 32;
+    if (code_ptr_ >= AddressMap::kCodeBase + profile_.code_bytes) {
+      code_ptr_ = AddressMap::kCodeBase;
+    }
+  }
+  return code_ptr_;
+}
+
+void SyntheticTrace::refill() {
+  while (buffer_.empty()) {
+    if (phase_idx_ >= plan_.phases.size()) {
+      buffer_.push_back(TraceRecord::end());
+      return;
+    }
+    if (!phase_initialised_) {
+      share_remaining_ = phase_share(phase_idx_);
+      phase_initialised_ = true;
+    }
+    if (share_remaining_ == 0) {
+      buffer_.push_back(TraceRecord::barrier(plan_.phases[phase_idx_].barrier_id));
+      ++phase_idx_;
+      phase_initialised_ = false;
+      return;
+    }
+
+    // Instruction fetch pressure: one I-fetch record per ~ifetch_every
+    // instructions, charged against a running credit.
+    if (ifetch_credit_ <= 0.0) {
+      buffer_.push_back(TraceRecord::mem(MemOp::kInstrFetch, next_code_addr()));
+      ifetch_credit_ += profile_.ifetch_every;
+    }
+
+    // A compute burst followed by one memory operation.
+    const double mean_burst =
+        std::max(1.0, (1.0 - profile_.mem_fraction) / profile_.mem_fraction);
+    const auto burst_draw = static_cast<std::uint64_t>(
+        1 + rng_.next_below(static_cast<std::uint64_t>(2.0 * mean_burst)));
+    const std::uint64_t burst = std::min<std::uint64_t>(burst_draw, share_remaining_);
+    buffer_.push_back(TraceRecord::compute(static_cast<std::uint32_t>(burst)));
+    share_remaining_ -= burst;
+    ifetch_credit_ -= static_cast<double>(burst);
+
+    if (share_remaining_ > 0) {
+      const MemOp op =
+          rng_.next_bool(profile_.read_fraction) ? MemOp::kLoad : MemOp::kStore;
+      buffer_.push_back(TraceRecord::mem(op, next_data_addr()));
+      --share_remaining_;
+      ifetch_credit_ -= 1.0;
+    }
+  }
+}
+
+TraceRecord SyntheticTrace::next() {
+  if (buffer_.empty()) refill();
+  const TraceRecord r = buffer_.front();
+  buffer_.pop_front();
+  return r;
+}
+
+Workload::Workload(AppProfile profile, std::size_t num_threads, double scale,
+                   std::uint64_t seed)
+    : profile_(std::move(profile)),
+      num_threads_(num_threads == 0 ? 1 : num_threads),
+      seed_(seed),
+      plan_(PhasePlan::build(profile_, scale)) {}
+
+std::unique_ptr<SyntheticTrace> Workload::make_trace(std::size_t thread) const {
+  return std::make_unique<SyntheticTrace>(profile_, plan_, thread, num_threads_,
+                                          seed_);
+}
+
+}  // namespace mot3d::workload

@@ -1,0 +1,87 @@
+// Tests for the runtime power-state advisor: the paper's two app axes
+// (parallelism scalability, L2 demand) must map onto the right Table I
+// states, and the Fig. 8 effect (fast DRAM relaxes the bank guard) must
+// show in the recommendation.
+#include <gtest/gtest.h>
+
+#include "cluster/advisor.hpp"
+
+namespace mot3d::cluster {
+namespace {
+
+SimResult profile(const char* app, mem::DramPreset dram, double scale = 0.2) {
+  return Cluster(make_paper_config(workload::profile_by_name(app), Fabric::kMot,
+                                   core::PowerState::full(), dram, scale, 42))
+      .run();
+}
+
+TEST(Advisor, LimitedSmallWsAppGetsPc4Mb8) {
+  // volrend: high serial fraction, 352 KB footprint.
+  const SimResult r = profile("volrend", mem::DramPreset::kDdr3_200ns);
+  const StateRecommendation rec = recommend_power_state(r);
+  EXPECT_TRUE(rec.gate_cores) << rec.rationale;
+  EXPECT_TRUE(rec.gate_banks) << rec.rationale;
+  EXPECT_EQ(rec.state.name(), "PC4-MB8");
+}
+
+TEST(Advisor, ScalableSmallWsAppGetsPc16Mb8) {
+  // water: scales to 16 cores, 416 KB footprint.
+  const SimResult r = profile("water_nsquared", mem::DramPreset::kDdr3_200ns);
+  const StateRecommendation rec = recommend_power_state(r);
+  EXPECT_FALSE(rec.gate_cores) << rec.rationale;
+  EXPECT_TRUE(rec.gate_banks) << rec.rationale;
+  EXPECT_EQ(rec.state.name(), "PC16-MB8");
+}
+
+TEST(Advisor, ScalableCapacityHungryAppStaysFull) {
+  // ocean: scales and demands capacity — at 200 ns nothing can be gated.
+  const SimResult r = profile("ocean_contiguous", mem::DramPreset::kDdr3_200ns, 0.4);
+  const StateRecommendation rec = recommend_power_state(r);
+  EXPECT_FALSE(rec.gate_cores) << rec.rationale;
+  EXPECT_FALSE(rec.gate_banks) << rec.rationale;
+  EXPECT_EQ(rec.state.name(), "Full");
+}
+
+TEST(Advisor, FastDramRelaxesBankGuard) {
+  // Same capacity-hungry app at 42 ns on-chip DRAM: misses are cheap, the
+  // advisor gates the banks (the Fig. 8 trend made operational).
+  const SimResult r = profile("ocean_contiguous", mem::DramPreset::kWeis3d_42ns, 0.4);
+  const StateRecommendation rec = recommend_power_state(r);
+  EXPECT_TRUE(rec.gate_banks) << rec.rationale;
+}
+
+TEST(Advisor, RecommendationActuallyImprovesEdp) {
+  // Closing the loop: running the recommended state must beat Full on EDP.
+  const SimResult full = profile("volrend", mem::DramPreset::kDdr3_200ns);
+  const StateRecommendation rec = recommend_power_state(full);
+  ASSERT_NE(rec.state.name(), "Full");
+  const SimResult gated =
+      Cluster(make_paper_config(workload::profile_by_name("volrend"), Fabric::kMot,
+                                rec.state, mem::DramPreset::kDdr3_200ns, 0.2, 42))
+          .run();
+  EXPECT_LT(gated.edp_pj_s, full.edp_pj_s) << rec.rationale;
+}
+
+TEST(Advisor, SpinRatioMeasured) {
+  const SimResult limited = profile("cholesky", mem::DramPreset::kDdr3_200ns);
+  const SimResult scalable = profile("fmm", mem::DramPreset::kDdr3_200ns);
+  const StateRecommendation rl = recommend_power_state(limited);
+  const StateRecommendation rs = recommend_power_state(scalable);
+  EXPECT_GT(rl.spin_ratio, rs.spin_ratio + 0.15);
+}
+
+TEST(Advisor, EmptyProfileStaysFull) {
+  SimResult empty;
+  const StateRecommendation rec = recommend_power_state(empty);
+  EXPECT_EQ(rec.state.name(), "Full");
+}
+
+TEST(Advisor, RationaleIsHumanReadable) {
+  const SimResult r = profile("fft", mem::DramPreset::kDdr3_200ns);
+  const StateRecommendation rec = recommend_power_state(r);
+  EXPECT_NE(rec.rationale.find("spin_ratio"), std::string::npos);
+  EXPECT_NE(rec.rationale.find("resident L2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mot3d::cluster

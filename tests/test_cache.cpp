@@ -1,0 +1,221 @@
+// Unit tests for the set-associative write-back cache (L1s and L2 banks):
+// LRU order, write-allocate dirtiness, eviction reporting, flush semantics
+// and the banked-index aliasing behaviour power-gating relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mem/cache.hpp"
+
+namespace mot3d::mem {
+namespace {
+
+CacheConfig small_cfg() {
+  // 2 sets x 2 ways x 32 B lines = 128 B: easy to reason about.
+  return CacheConfig{.capacity_bytes = 128,
+                     .line_bytes = 32,
+                     .associativity = 2,
+                     .index_shift = 0};
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(CacheConfig{.capacity_bytes = 100,
+                                 .line_bytes = 32,
+                                 .associativity = 2,
+                                 .index_shift = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{.capacity_bytes = 128,
+                                 .line_bytes = 24,
+                                 .associativity = 2,
+                                 .index_shift = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{.capacity_bytes = 128,
+                                 .line_bytes = 32,
+                                 .associativity = 3,
+                                 .index_shift = 0}),
+               std::invalid_argument);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(small_cfg());
+  EXPECT_FALSE(c.lookup(0x1000, false).hit);
+  c.insert(0x1000, false);
+  EXPECT_TRUE(c.lookup(0x1000, false).hit);
+  EXPECT_TRUE(c.lookup(0x101F, false).hit);   // same line
+  EXPECT_FALSE(c.lookup(0x1020, false).hit);  // next line
+}
+
+TEST(Cache, StatsCounting) {
+  Cache c(small_cfg());
+  c.lookup(0x0, false);
+  c.insert(0x0, false);
+  c.lookup(0x0, false);
+  c.lookup(0x0, true);
+  c.lookup(0x40, true);
+  const CacheStats& s = c.stats();
+  EXPECT_EQ(s.read_misses, 1u);
+  EXPECT_EQ(s.read_hits, 1u);
+  EXPECT_EQ(s.write_hits, 1u);
+  EXPECT_EQ(s.write_misses, 1u);
+  EXPECT_EQ(s.accesses(), 4u);
+  EXPECT_NEAR(s.miss_rate(), 0.5, 1e-12);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  Cache c(small_cfg());
+  // Set 0 lines (2 sets, 32 B lines -> set = bit 5): 0x00, 0x40, 0x80.
+  c.insert(0x00, false);
+  c.insert(0x40, false);
+  c.lookup(0x00, false);  // touch 0x00: 0x40 becomes LRU
+  const InsertResult ev = c.insert(0x80, false);
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_EQ(ev.evicted_line_addr, 0x40u);
+  EXPECT_TRUE(c.probe(0x00));
+  EXPECT_FALSE(c.probe(0x40));
+  EXPECT_TRUE(c.probe(0x80));
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  Cache c(small_cfg());
+  c.insert(0x00, false);
+  c.lookup(0x00, true);  // dirty it
+  c.insert(0x40, false);
+  const InsertResult ev = c.insert(0x80, false);  // evicts 0x00 (LRU)
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_TRUE(ev.evicted_dirty);
+  EXPECT_EQ(ev.evicted_line_addr, 0x00u);
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, CleanEvictionNotDirty) {
+  Cache c(small_cfg());
+  c.insert(0x00, false);
+  c.insert(0x40, false);
+  const InsertResult ev = c.insert(0x80, false);
+  EXPECT_TRUE(ev.evicted);
+  EXPECT_FALSE(ev.evicted_dirty);
+}
+
+TEST(Cache, InsertDirtyFlagForWriteAllocate) {
+  Cache c(small_cfg());
+  c.insert(0x00, true);  // store-miss refill installs dirty
+  EXPECT_EQ(c.dirty_lines(), 1u);
+}
+
+TEST(Cache, DoubleInsertRefreshesInsteadOfDuplicating) {
+  Cache c(small_cfg());
+  c.insert(0x00, false);
+  const InsertResult r = c.insert(0x00, true);
+  EXPECT_FALSE(r.evicted);
+  EXPECT_EQ(c.valid_lines(), 1u);
+  EXPECT_EQ(c.dirty_lines(), 1u);  // dirtiness is sticky
+}
+
+TEST(Cache, SetsAreIndependent) {
+  Cache c(small_cfg());
+  c.insert(0x00, false);  // set 0
+  c.insert(0x20, false);  // set 1
+  c.insert(0x40, false);  // set 0
+  c.insert(0x60, false);  // set 1
+  EXPECT_EQ(c.valid_lines(), 4u);  // no evictions: 2 ways per set
+  EXPECT_EQ(c.stats().evictions, 0u);
+}
+
+TEST(Cache, FlushReturnsExactlyDirtyLines) {
+  Cache c(small_cfg());
+  c.insert(0x00, true);
+  c.insert(0x20, false);
+  c.insert(0x40, true);
+  std::vector<Addr> dirty = c.flush();
+  std::sort(dirty.begin(), dirty.end());
+  EXPECT_EQ(dirty, (std::vector<Addr>{0x00, 0x40}));
+  EXPECT_EQ(c.valid_lines(), 0u);
+  EXPECT_FALSE(c.probe(0x20));
+}
+
+TEST(Cache, InvalidateReportsDirtiness) {
+  Cache c(small_cfg());
+  c.insert(0x00, true);
+  c.insert(0x20, false);
+  EXPECT_EQ(c.invalidate(0x00), std::optional<bool>(true));
+  EXPECT_EQ(c.invalidate(0x20), std::optional<bool>(false));
+  EXPECT_EQ(c.invalidate(0x999), std::nullopt);
+  EXPECT_EQ(c.valid_lines(), 0u);
+}
+
+TEST(Cache, IndexShiftSkipsBankBits) {
+  // L2-bank style: 32 banks -> index_shift 5 skips the bank-interleave bits,
+  // so lines 0x000 and 0x400 (same set without shift) spread over sets.
+  CacheConfig cfg{.capacity_bytes = 2048,
+                  .line_bytes = 32,
+                  .associativity = 2,
+                  .index_shift = 5};
+  Cache c(cfg);
+  // Lines whose bits 5..9 are the bank id: within one bank, consecutive
+  // *bank-local* lines are 32 banks * 32 B = 1024 B apart.
+  c.insert(0x0000, false);
+  c.insert(0x0400, false);
+  c.insert(0x0800, false);
+  // With 32 sets and index starting at bit 10, these fall in sets 0,1,2.
+  EXPECT_EQ(c.valid_lines(), 3u);
+  EXPECT_EQ(c.stats().evictions, 0u);
+}
+
+TEST(Cache, AliasedLinesCoexistAfterRemap) {
+  // Power-gating remap sends lines that differ only in (dropped) bank bits
+  // to the same bank; full-line tags must keep them distinct.
+  CacheConfig cfg{.capacity_bytes = 2048,
+                  .line_bytes = 32,
+                  .associativity = 2,
+                  .index_shift = 5};
+  Cache c(cfg);
+  // 0x0000 and 0x0100 differ in bank bits only (bits 5..9): same set after
+  // the shift, different tags.
+  c.insert(0x0000, false);
+  c.insert(0x0100, false);
+  EXPECT_TRUE(c.probe(0x0000));
+  EXPECT_TRUE(c.probe(0x0100));
+  EXPECT_TRUE(c.lookup(0x0000, false).hit);
+  EXPECT_TRUE(c.lookup(0x0100, false).hit);
+}
+
+class CacheAssocTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CacheAssocTest, CapacityEvictionAtEveryAssociativity) {
+  const std::size_t ways = GetParam();
+  CacheConfig cfg{.capacity_bytes = 32 * ways * 4,  // 4 sets
+                  .line_bytes = 32,
+                  .associativity = ways,
+                  .index_shift = 0};
+  Cache c(cfg);
+  const std::size_t lines = cfg.num_lines();
+  for (std::size_t i = 0; i < lines; ++i) c.insert(i * 32, false);
+  EXPECT_EQ(c.valid_lines(), lines);
+  EXPECT_EQ(c.stats().evictions, 0u);
+  // One more round evicts exactly one per insert.
+  for (std::size_t i = 0; i < 4; ++i) c.insert((lines + i) * 32, false);
+  EXPECT_EQ(c.stats().evictions, 4u);
+  EXPECT_EQ(c.valid_lines(), lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, CacheAssocTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Cache, LruIsExactWithinSet) {
+  // 1 set, 4 ways: access pattern must evict in LRU order.
+  CacheConfig cfg{.capacity_bytes = 128,
+                  .line_bytes = 32,
+                  .associativity = 4,
+                  .index_shift = 0};
+  Cache c(cfg);
+  for (Addr a : {0x0, 0x20, 0x40, 0x60}) c.insert(a, false);
+  c.lookup(0x0, false);
+  c.lookup(0x40, false);
+  // LRU is now 0x20.
+  EXPECT_EQ(c.insert(0x80, false).evicted_line_addr, 0x20u);
+  // Then 0x60.
+  EXPECT_EQ(c.insert(0xA0, false).evicted_line_addr, 0x60u);
+}
+
+}  // namespace
+}  // namespace mot3d::mem

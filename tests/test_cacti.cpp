@@ -1,0 +1,89 @@
+// Unit tests for the CACTI-lite SRAM bank model (substitute for CACTI 4.0
+// [13]): monotone scaling with capacity, associativity penalties, and the
+// Table I anchor points (64 KB L2 bank, 4 KB L1).
+#include <gtest/gtest.h>
+
+#include "cacti/sram_model.hpp"
+
+namespace mot3d::cacti {
+namespace {
+
+SramBankConfig bank(std::size_t kb, std::size_t assoc = 8) {
+  SramBankConfig c;
+  c.capacity_bytes = kb * 1024;
+  c.associativity = assoc;
+  return c;
+}
+
+TEST(Cacti, AccessTimeGrowsWithCapacity) {
+  const double t4 = evaluate(bank(4)).access_ns;
+  const double t64 = evaluate(bank(64)).access_ns;
+  const double t256 = evaluate(bank(256)).access_ns;
+  EXPECT_LT(t4, t64);
+  EXPECT_LT(t64, t256);
+}
+
+TEST(Cacti, EnergyGrowsWithCapacity) {
+  EXPECT_LT(evaluate(bank(4)).read_energy_pj, evaluate(bank(64)).read_energy_pj);
+  EXPECT_LT(evaluate(bank(64)).read_energy_pj, evaluate(bank(512)).read_energy_pj);
+}
+
+TEST(Cacti, LeakageLinearInCapacity) {
+  const double l64 = evaluate(bank(64)).leakage_mw;
+  const double l128 = evaluate(bank(128)).leakage_mw;
+  EXPECT_NEAR(l128 / l64, 2.0, 1e-9);
+}
+
+TEST(Cacti, WritesCostMoreThanReads) {
+  const SramBankResult r = evaluate(bank(64));
+  EXPECT_GT(r.write_energy_pj, r.read_energy_pj);
+  EXPECT_LT(r.write_energy_pj, 1.25 * r.read_energy_pj);
+}
+
+TEST(Cacti, AssociativityPenalty) {
+  EXPECT_LT(evaluate(bank(64, 1)).access_ns, evaluate(bank(64, 8)).access_ns);
+  EXPECT_LT(evaluate(bank(64, 1)).read_energy_pj, evaluate(bank(64, 8)).read_energy_pj);
+}
+
+TEST(Cacti, TechnologyScaling) {
+  SramBankConfig c90 = bank(64);
+  c90.tech_nm = 90.0;
+  EXPECT_NEAR(evaluate(c90).access_ns / evaluate(bank(64)).access_ns, 2.0, 1e-6);
+  EXPECT_NEAR(evaluate(c90).read_energy_pj / evaluate(bank(64)).read_energy_pj, 4.0,
+              1e-6);
+}
+
+TEST(Cacti, Anchor64KbBank) {
+  // The paper's L2 bank: 64 KB, 8-way, 32 B line at 45 nm.
+  const SramBankResult r = evaluate(bank(64));
+  EXPECT_GT(r.access_ns, 0.8);
+  EXPECT_LT(r.access_ns, 1.3);
+  EXPECT_GT(r.read_energy_pj, 25.0);
+  EXPECT_LT(r.read_energy_pj, 60.0);
+  EXPECT_GT(r.leakage_mw, 0.5);
+  EXPECT_LT(r.leakage_mw, 3.0);
+  EXPECT_GT(r.area_mm2, 0.1);
+  EXPECT_LT(r.area_mm2, 1.0);
+}
+
+TEST(Cacti, BankAccessCyclesTableI) {
+  // 64 KB bank at 1 GHz: 3 cycles including the TSV-bus interface stage —
+  // the bank term of Table I's L2 latencies (12 = 5+3+4 etc.).
+  EXPECT_EQ(access_cycles(bank(64), 1.0), 3u);
+}
+
+TEST(Cacti, L1StyleBankIsSingleCycleArray) {
+  // A 4 KB 4-way L1 array fits in one cycle (+1 interface).
+  SramBankConfig l1 = bank(4, 4);
+  EXPECT_EQ(access_cycles(l1, 1.0), 2u);
+  EXPECT_LT(evaluate(l1).access_ns, 1.0);
+}
+
+TEST(Cacti, CycleTimeBelowAccessTime) {
+  const SramBankResult r = evaluate(bank(64));
+  EXPECT_LT(r.cycle_ns, r.access_ns);
+  EXPECT_GT(r.cycle_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace mot3d::cacti

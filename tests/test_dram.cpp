@@ -1,0 +1,137 @@
+// Unit tests for the DRAM backend: latency presets, Miss-bus round-robin
+// fairness, channel serialisation and the optional open-page policy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/dram.hpp"
+
+namespace mot3d::mem {
+namespace {
+
+DramConfig cfg_200() {
+  DramConfig c;
+  c.access_latency_ns = 200.0;
+  c.bus_transfer_cycles = 2;
+  c.channel_burst_cycles = 4;
+  return c;
+}
+
+TEST(DramPresets, PaperLatencies) {
+  EXPECT_DOUBLE_EQ(dram_latency_ns(DramPreset::kDdr3_200ns), 200.0);
+  EXPECT_DOUBLE_EQ(dram_latency_ns(DramPreset::kWideIo_63ns), 63.0);
+  EXPECT_DOUBLE_EQ(dram_latency_ns(DramPreset::kWeis3d_42ns), 42.0);
+  EXPECT_NE(std::string(dram_preset_name(DramPreset::kWideIo_63ns)).find("63"),
+            std::string::npos);
+}
+
+TEST(Dram, SingleReadLatency) {
+  DramBackend dram(cfg_200(), 4);
+  Cycle done_at = 0;
+  dram.read(0, 0x1000, 0, [&](std::uint32_t, Addr, Cycle done) { done_at = done; });
+  for (Cycle t = 0; t <= 300 && done_at == 0; ++t) dram.tick(t);
+  // bus (2) + latency (200); completion fires on the tick after due.
+  EXPECT_GE(done_at, 202u);
+  EXPECT_LE(done_at, 208u);
+  EXPECT_TRUE(dram.idle());
+  EXPECT_EQ(dram.stats().reads, 1u);
+}
+
+TEST(Dram, WritesArePostedAndDrain) {
+  DramBackend dram(cfg_200(), 4);
+  dram.write(1, 0x2000, 0);
+  dram.write(1, 0x3000, 0);
+  for (Cycle t = 0; t <= 50; ++t) dram.tick(t);
+  EXPECT_TRUE(dram.idle());
+  EXPECT_EQ(dram.stats().writes, 2u);
+}
+
+TEST(Dram, RoundRobinAcrossRequesters) {
+  // Three requesters each enqueue 2 reads at t=0; grants must interleave
+  // 0,1,2,0,1,2 (the paper's round-robin Miss bus).
+  DramBackend dram(cfg_200(), 3);
+  std::vector<std::uint32_t> completion_order;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    for (int k = 0; k < 2; ++k) {
+      dram.read(r, 0x1000 * r + 0x10 * k, 0,
+                [&](std::uint32_t req, Addr, Cycle) { completion_order.push_back(req); });
+    }
+  }
+  for (Cycle t = 0; t <= 400; ++t) dram.tick(t);
+  ASSERT_EQ(completion_order.size(), 6u);
+  EXPECT_EQ(completion_order, (std::vector<std::uint32_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Dram, QueueingDelaysLaterRequests) {
+  DramBackend dram(cfg_200(), 1);
+  std::vector<Cycle> done;
+  for (int k = 0; k < 4; ++k) {
+    dram.read(0, 0x40u * k, 0, [&](std::uint32_t, Addr, Cycle d) { done.push_back(d); });
+  }
+  for (Cycle t = 0; t <= 600; ++t) dram.tick(t);
+  ASSERT_EQ(done.size(), 4u);
+  // Channel serialisation spaces completions by >= burst cycles.
+  for (std::size_t i = 1; i < done.size(); ++i) {
+    EXPECT_GE(done[i], done[i - 1] + 4);
+  }
+}
+
+TEST(Dram, WaitCyclesAccounted) {
+  DramBackend dram(cfg_200(), 1);
+  int completions = 0;
+  for (int k = 0; k < 3; ++k) {
+    dram.read(0, 0x40u * k, 0, [&](std::uint32_t, Addr, Cycle) { ++completions; });
+  }
+  for (Cycle t = 0; t <= 600; ++t) dram.tick(t);
+  EXPECT_EQ(completions, 3);
+  EXPECT_GT(dram.stats().total_wait_cycles, 0u);
+}
+
+TEST(Dram, FasterPresetCompletesSooner) {
+  DramConfig fast = cfg_200();
+  fast.access_latency_ns = 42.0;
+  DramBackend d42(fast, 1);
+  DramBackend d200(cfg_200(), 1);
+  Cycle c42 = 0, c200 = 0;
+  d42.read(0, 0, 0, [&](std::uint32_t, Addr, Cycle d) { c42 = d; });
+  d200.read(0, 0, 0, [&](std::uint32_t, Addr, Cycle d) { c200 = d; });
+  for (Cycle t = 0; t <= 300; ++t) {
+    d42.tick(t);
+    d200.tick(t);
+  }
+  EXPECT_LT(c42, c200);
+  EXPECT_NEAR(static_cast<double>(c200 - c42), 158.0, 3.0);
+}
+
+TEST(Dram, OpenPagePolicyTracksRowHits) {
+  DramConfig c = cfg_200();
+  c.open_page_policy = true;
+  DramBackend dram(c, 1);
+  std::vector<Cycle> done;
+  // Same 4 KB page twice, then a different page.
+  dram.read(0, 0x0000, 0, [&](std::uint32_t, Addr, Cycle d) { done.push_back(d); });
+  dram.read(0, 0x0100, 0, [&](std::uint32_t, Addr, Cycle d) { done.push_back(d); });
+  dram.read(0, 0x9000, 0, [&](std::uint32_t, Addr, Cycle d) { done.push_back(d); });
+  for (Cycle t = 0; t <= 800; ++t) dram.tick(t);
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(dram.stats().page_hits, 1u);
+  EXPECT_EQ(dram.stats().page_misses, 2u);
+  // The row hit is served faster than a full access.
+  EXPECT_LT(done[1] - done[0], 200u);
+}
+
+TEST(Dram, EnergyAccounted) {
+  DramBackend dram(cfg_200(), 1);
+  dram.read(0, 0, 0, [](std::uint32_t, Addr, Cycle) {});
+  dram.write(0, 64, 0);
+  for (Cycle t = 0; t <= 300; ++t) dram.tick(t);
+  EXPECT_DOUBLE_EQ(dram.stats().dynamic_energy_pj,
+                   2.0 * cfg_200().energy_per_access_pj);
+}
+
+TEST(Dram, RejectsZeroRequesters) {
+  EXPECT_THROW(DramBackend(cfg_200(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mot3d::mem

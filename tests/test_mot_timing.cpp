@@ -1,0 +1,119 @@
+// Unit tests for the MoT timing/energy model.  The headline assertion is
+// Table I: the four power states must come out at 12 / 9 / 9 / 7 cycles of
+// L2 access latency, *derived* from the Elmore wire + TSV + CACTI models
+// rather than hard-coded.
+#include <gtest/gtest.h>
+
+#include "cacti/sram_model.hpp"
+#include "core/mot_timing.hpp"
+#include "core/power_state.hpp"
+#include "phys/geometry.hpp"
+#include "phys/technology.hpp"
+
+namespace mot3d::core {
+namespace {
+
+class MotTimingTest : public ::testing::Test {
+ protected:
+  phys::TechnologyParams tech = phys::default_technology();
+  phys::FloorplanParams fp;
+  cacti::SramBankConfig bank;  // 64 KB, 8-way, 32 B (paper defaults)
+  MotTimingModel model{tech, fp, bank};
+};
+
+TEST_F(MotTimingTest, TableIRoundTripLatencies) {
+  EXPECT_EQ(model.timing(PowerState::full()).l2_round_trip(), 12u);
+  EXPECT_EQ(model.timing(PowerState::pc16_mb8()).l2_round_trip(), 9u);
+  EXPECT_EQ(model.timing(PowerState::pc4_mb32()).l2_round_trip(), 9u);
+  EXPECT_EQ(model.timing(PowerState::pc4_mb8()).l2_round_trip(), 7u);
+}
+
+TEST_F(MotTimingTest, TableIStageDecomposition) {
+  const MotStateTiming full = model.timing(PowerState::full());
+  EXPECT_EQ(full.request_cycles, 5u);
+  EXPECT_EQ(full.bank_cycles, 3u);
+  EXPECT_EQ(full.response_cycles, 4u);
+  const MotStateTiming pc4mb8 = model.timing(PowerState::pc4_mb8());
+  EXPECT_EQ(pc4mb8.request_cycles, 2u);
+  EXPECT_EQ(pc4mb8.response_cycles, 2u);
+}
+
+TEST_F(MotTimingTest, DelaysFitInTheirStageCount) {
+  // Pipeline stages must cover the combinational delay at 1 GHz.
+  for (const PowerState& s : PowerState::paper_states()) {
+    const MotStateTiming t = model.timing(s);
+    EXPECT_LE(t.request_delay_ns, t.request_cycles * tech.clock_period_ns);
+    EXPECT_GT(t.request_delay_ns, (t.request_cycles - 1) * tech.clock_period_ns);
+    EXPECT_LE(t.response_delay_ns, t.response_cycles * tech.clock_period_ns);
+  }
+}
+
+TEST_F(MotTimingTest, GatingNeverSlowsTheNetwork) {
+  const unsigned full = model.timing(16, 32).l2_round_trip();
+  for (std::size_t cores : {4u, 8u, 16u}) {
+    for (std::size_t banks : {8u, 16u, 32u}) {
+      EXPECT_LE(model.timing(cores, banks).l2_round_trip(), full)
+          << cores << "C/" << banks << "B";
+    }
+  }
+}
+
+TEST_F(MotTimingTest, EnergyDropsWithGating) {
+  const double e_full = model.request_energy_pj(PowerState::full(), false);
+  const double e_gated = model.request_energy_pj(PowerState::pc4_mb8(), false);
+  EXPECT_LT(e_gated, e_full * 0.5);
+  EXPECT_GT(e_gated, 0.0);
+}
+
+TEST_F(MotTimingTest, LineTransfersCostMore) {
+  const PowerState s = PowerState::full();
+  EXPECT_GT(model.request_energy_pj(s, true), 2.0 * model.request_energy_pj(s, false));
+  EXPECT_GT(model.response_energy_pj(s, true), model.response_energy_pj(s, false));
+}
+
+TEST_F(MotTimingTest, LeakageDropsSteeplyWithGating) {
+  const double full = model.leakage_mw(PowerState::full());
+  const double mb8 = model.leakage_mw(PowerState::pc16_mb8());
+  const double pc4mb8 = model.leakage_mw(PowerState::pc4_mb8());
+  EXPECT_LT(mb8, full);
+  EXPECT_LT(pc4mb8, 0.25 * full);
+  EXPECT_GT(pc4mb8, 0.0);
+}
+
+TEST_F(MotTimingTest, LeakageMagnitudePlausible) {
+  // Tens of mW for the full 16x32 network at 45 nm (paper-scale cluster).
+  const double full = model.leakage_mw(PowerState::full());
+  EXPECT_GT(full, 5.0);
+  EXPECT_LT(full, 100.0);
+}
+
+TEST_F(MotTimingTest, PoweredSwitchCountsMatchStructuralTrees) {
+  // Full: request net = 16 routing trees (31 switches) + 32 arbitration
+  // trees (15); the response net mirrors with swapped roles.
+  const std::size_t full = model.powered_switches(PowerState::full());
+  EXPECT_EQ(full, 16u * 31 + 32u * 15 + 32u * 15 + 16u * 31);
+}
+
+TEST_F(MotTimingTest, RepeatersVanishInGatedStates) {
+  // With a quarter of the spans, every edge drops below the repeater
+  // spacing: the inverters the paper gates are exactly these.
+  EXPECT_GT(model.powered_repeaters(PowerState::full()), 0u);
+  EXPECT_EQ(model.powered_repeaters(PowerState::pc4_mb8()), 0u);
+}
+
+TEST_F(MotTimingTest, BankAccessFromCacti) {
+  EXPECT_EQ(model.bank_access_cycles(), 3u);
+}
+
+TEST_F(MotTimingTest, RequestEnergyMagnitude) {
+  // Order of magnitude: tens of pJ for a header, hundreds with a line.
+  const double hdr = model.request_energy_pj(PowerState::full(), false);
+  EXPECT_GT(hdr, 5.0);
+  EXPECT_LT(hdr, 200.0);
+  const double line = model.response_energy_pj(PowerState::full(), true);
+  EXPECT_GT(line, 100.0);
+  EXPECT_LT(line, 2000.0);
+}
+
+}  // namespace
+}  // namespace mot3d::core

@@ -1,0 +1,181 @@
+// Unit tests for the MoT routing and arbitration trees: full-connectivity
+// resolution, the Fig. 4 user-defined/gated switch pattern, consistency
+// with PowerState::remap_bank, and hierarchical round-robin fairness /
+// starvation freedom.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/arbitration_tree.hpp"
+#include "core/power_state.hpp"
+#include "core/routing_tree.hpp"
+
+namespace mot3d::core {
+namespace {
+
+TEST(RoutingTree, FullConfigIsIdentity) {
+  RoutingTree rt(32);
+  rt.configure(PowerState::full());
+  for (BankId b = 0; b < 32; ++b) {
+    ASSERT_TRUE(rt.resolve(b).has_value());
+    EXPECT_EQ(*rt.resolve(b), b);
+  }
+  EXPECT_EQ(rt.powered_switches(), 31u);  // all switches on
+}
+
+TEST(RoutingTree, MatchesPowerStateRemapEverywhere) {
+  for (std::size_t active : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const PowerState s("p", 16, 16, 32, active);
+    RoutingTree rt(32);
+    rt.configure(s);
+    for (BankId b = 0; b < 32; ++b) {
+      ASSERT_TRUE(rt.resolve(b).has_value()) << "active=" << active << " b=" << b;
+      EXPECT_EQ(*rt.resolve(b), s.remap_bank(b)) << "active=" << active << " b=" << b;
+    }
+  }
+}
+
+TEST(RoutingTree, Fig4SwitchPattern) {
+  // 8 banks, 4 active: level 1 runs user-defined, everything else on the
+  // active paths conventional, unreachable switches gated.
+  const PowerState s("fig4", 4, 4, 8, 4);
+  RoutingTree rt(8);
+  rt.configure(s);
+  // Root: conventional.
+  EXPECT_EQ(static_cast<int>(rt.switch_at(0, 0).mode()),
+            static_cast<int>(RouteMode::kConventional));
+  // Level 1 (the paper's "second level"): user-defined, folding centre-ward.
+  EXPECT_EQ(static_cast<int>(rt.switch_at(1, 0).mode()),
+            static_cast<int>(RouteMode::kForcePort1));
+  EXPECT_EQ(static_cast<int>(rt.switch_at(1, 1).mode()),
+            static_cast<int>(RouteMode::kForcePort0));
+  // Level 2: switches over gated banks are off, over active banks on.
+  EXPECT_FALSE(rt.switch_at(2, 0).powered());  // banks 0,1
+  EXPECT_TRUE(rt.switch_at(2, 1).powered());   // banks 2,3
+  EXPECT_TRUE(rt.switch_at(2, 2).powered());   // banks 4,5
+  EXPECT_FALSE(rt.switch_at(2, 3).powered());  // banks 6,7
+}
+
+TEST(RoutingTree, PoweredSwitchCountDropsWithGating) {
+  RoutingTree rt(32);
+  const std::size_t full = rt.configure(PowerState::full());
+  const std::size_t mb8 = rt.configure(PowerState::pc16_mb8());
+  EXPECT_LT(mb8, full);
+  // Visited switches per level for 32 banks folded onto 8 (forced levels
+  // 1 and 2 each pass through a single child): 1 + 2 + 2 + 2 + 4 = 11.
+  EXPECT_EQ(mb8, 11u);
+}
+
+TEST(RoutingTree, RejectsBadShape) {
+  EXPECT_THROW(RoutingTree(0), std::invalid_argument);
+  EXPECT_THROW(RoutingTree(1), std::invalid_argument);
+  EXPECT_THROW(RoutingTree(12), std::invalid_argument);
+  RoutingTree rt(16);
+  EXPECT_THROW(rt.configure(PowerState::full()), std::invalid_argument);  // 32 != 16
+}
+
+TEST(RoutingTree, OutOfRangeBankRejected) {
+  RoutingTree rt(8);
+  rt.configure(PowerState("p", 4, 4, 8, 8));
+  EXPECT_EQ(rt.resolve(8), std::nullopt);
+}
+
+TEST(ArbitrationTree, SingleRequesterAlwaysWins) {
+  ArbitrationTree at(16);
+  at.configure(PowerState::full());
+  std::vector<bool> req(16, false);
+  req[11] = true;
+  EXPECT_EQ(at.arbitrate(req), 11u);
+  EXPECT_EQ(at.arbitrate(req), 11u);
+}
+
+TEST(ArbitrationTree, NobodyRequesting) {
+  ArbitrationTree at(8);
+  at.configure(PowerState("p", 8, 8, 32, 32));
+  EXPECT_EQ(at.arbitrate(std::vector<bool>(8, false)), std::nullopt);
+}
+
+TEST(ArbitrationTree, GrantsExactlyOnePerCycle) {
+  ArbitrationTree at(16);
+  at.configure(PowerState::full());
+  std::vector<bool> req(16, true);
+  const auto w = at.arbitrate(req);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_LT(*w, 16u);
+}
+
+TEST(ArbitrationTree, StarvationFreedomUnderFullContention) {
+  // All 16 cores request every cycle; within 16 grants each core must win
+  // at least once (bounded wait == round-robin fairness).
+  ArbitrationTree at(16);
+  at.configure(PowerState::full());
+  std::vector<bool> req(16, true);
+  std::set<CoreId> winners;
+  for (int i = 0; i < 16; ++i) winners.insert(*at.arbitrate(req));
+  EXPECT_EQ(winners.size(), 16u);
+}
+
+TEST(ArbitrationTree, FairShareUnderAsymmetricPersistence) {
+  // Two persistent requesters + one intermittent: nobody starves.
+  ArbitrationTree at(4);
+  at.configure(PowerState("p", 4, 4, 32, 32));
+  std::map<CoreId, int> grants;
+  for (int round = 0; round < 300; ++round) {
+    std::vector<bool> req(4, false);
+    req[0] = true;
+    req[1] = true;
+    req[2] = (round % 3 == 0);
+    const auto w = at.arbitrate(req);
+    ASSERT_TRUE(w.has_value());
+    ++grants[*w];
+    // The winner's request is consumed; persistent ones re-request.
+  }
+  EXPECT_GT(grants[0], 60);
+  EXPECT_GT(grants[1], 60);
+  EXPECT_GT(grants[2], 30);
+}
+
+TEST(ArbitrationTree, BoundedWaitProperty) {
+  // Worst-case wait for any persistent requester is <= #contenders rounds.
+  ArbitrationTree at(8);
+  at.configure(PowerState("p", 8, 8, 32, 32));
+  std::vector<bool> req(8, true);
+  std::vector<int> last_grant(8, -1);
+  for (int round = 0; round < 64; ++round) {
+    const CoreId w = *at.arbitrate(req);
+    if (last_grant[w] >= 0) EXPECT_LE(round - last_grant[w], 8);
+    last_grant[w] = round;
+  }
+}
+
+TEST(ArbitrationTree, GatedSubtreeNeverWins) {
+  ArbitrationTree at(16);
+  at.configure(PowerState::pc4_mb32());  // only cores 6..9 powered
+  // Requests from gated cores must not be granted (they cannot occur in a
+  // correct system; the tree guards anyway because their switches are off).
+  std::vector<bool> req(16, false);
+  req[0] = true;   // gated
+  req[7] = true;   // active
+  const auto w = at.arbitrate(req);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, 7u);
+}
+
+TEST(ArbitrationTree, PoweredSwitchCount) {
+  ArbitrationTree at(16);
+  EXPECT_EQ(at.configure(PowerState::full()), 15u);
+  // PC4: cores 6..9 -> subtrees {6,7} and {8,9} plus their ancestors.
+  const std::size_t pc4 = at.configure(PowerState::pc4_mb32());
+  EXPECT_LT(pc4, 15u);
+  EXPECT_GE(pc4, 5u);
+}
+
+TEST(ArbitrationTree, RejectsBadShape) {
+  EXPECT_THROW(ArbitrationTree(1), std::invalid_argument);
+  EXPECT_THROW(ArbitrationTree(6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mot3d::core

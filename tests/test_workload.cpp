@@ -1,0 +1,266 @@
+// Unit tests for the SPLASH-2 synthetic workload generators: determinism,
+// the phase/barrier skeleton, serial-fraction structure, address-space
+// discipline and the published per-app characteristics the paper's
+// conclusions rest on (scalability group vs. L2-demand group).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/app_profile.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace mot3d::workload {
+namespace {
+
+using cpu::TraceKind;
+using cpu::TraceRecord;
+
+struct Drained {
+  std::uint64_t instructions = 0;
+  std::uint64_t mem_ops = 0;
+  std::uint64_t ifetches = 0;
+  std::uint64_t stores = 0;
+  std::vector<std::uint32_t> barriers;
+  std::set<Addr> shared_lines;
+  std::set<Addr> private_lines;
+  std::set<Addr> code_lines;
+};
+
+Drained drain(cpu::TraceSource& src, std::size_t limit = 5'000'000) {
+  Drained d;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const TraceRecord r = src.next();
+    switch (r.kind) {
+      case TraceKind::kEnd:
+        return d;
+      case TraceKind::kCompute:
+        d.instructions += r.compute_cycles;
+        break;
+      case TraceKind::kBarrier:
+        d.barriers.push_back(r.barrier_id);
+        break;
+      case TraceKind::kMem:
+        if (r.op == MemOp::kInstrFetch) {
+          ++d.ifetches;
+          d.code_lines.insert(r.addr / 32);
+        } else {
+          ++d.instructions;
+          ++d.mem_ops;
+          if (r.op == MemOp::kStore) ++d.stores;
+          if (r.addr >= AddressMap::kSharedBase) {
+            d.shared_lines.insert(r.addr / 32);
+          } else {
+            d.private_lines.insert(r.addr / 32);
+          }
+        }
+        break;
+    }
+  }
+  ADD_FAILURE() << "trace did not terminate";
+  return d;
+}
+
+TEST(Profiles, EightPaperApps) {
+  const auto names = splash2_names();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names[0], "cholesky");
+  EXPECT_NO_THROW(profile_by_name("radix"));
+  EXPECT_THROW(profile_by_name("doesnotexist"), std::out_of_range);
+}
+
+TEST(Profiles, ScalabilityGroups) {
+  // Paper Fig. 7(b): fmm/radix/ocean/water scale; cholesky/fft/volrend/
+  // raytrace do not.
+  for (const char* n : {"fmm", "radix", "ocean_contiguous", "water_nsquared"}) {
+    EXPECT_TRUE(profile_by_name(n).scalable()) << n;
+  }
+  for (const char* n : {"cholesky", "fft", "volrend", "raytrace"}) {
+    EXPECT_FALSE(profile_by_name(n).scalable()) << n;
+  }
+}
+
+TEST(Profiles, L2DemandGroups) {
+  // Paper Fig. 7(a): cholesky/radix/ocean thrash with 8 banks (512 KB);
+  // the other five fit.
+  const std::size_t mb8 = 8 * 64 * 1024;
+  for (const char* n : {"cholesky", "radix", "ocean_contiguous"}) {
+    EXPECT_GT(profile_by_name(n).l2_footprint_bytes(16), 2 * mb8) << n;
+  }
+  for (const char* n : {"fft", "fmm", "volrend", "raytrace", "water_nsquared"}) {
+    EXPECT_LT(profile_by_name(n).l2_footprint_bytes(16), mb8) << n;
+  }
+}
+
+TEST(PhasePlan, WorkConservation) {
+  const AppProfile& app = profile_by_name("fft");
+  const PhasePlan plan = PhasePlan::build(app, 0.1);
+  std::uint64_t total = 0;
+  for (const auto& ph : plan.phases) total += ph.instructions;
+  const auto expected = static_cast<std::uint64_t>(app.work_instructions * 0.1);
+  EXPECT_NEAR(static_cast<double>(total), static_cast<double>(expected),
+              static_cast<double>(expected) * 0.01);
+  EXPECT_EQ(plan.num_barriers, plan.phases.size());
+}
+
+TEST(PhasePlan, SerialPhasesMatchFraction) {
+  const AppProfile& app = profile_by_name("cholesky");
+  const PhasePlan plan = PhasePlan::build(app, 0.1);
+  std::uint64_t serial = 0, total = 0;
+  for (const auto& ph : plan.phases) {
+    total += ph.instructions;
+    if (ph.serial) serial += ph.instructions;
+  }
+  EXPECT_NEAR(static_cast<double>(serial) / static_cast<double>(total),
+              app.serial_fraction, 0.02);
+}
+
+TEST(PhasePlan, ScalableAppHasTinySerialShare) {
+  const PhasePlan plan = PhasePlan::build(profile_by_name("radix"), 0.1);
+  std::uint64_t serial = 0, total = 0;
+  for (const auto& ph : plan.phases) {
+    total += ph.instructions;
+    if (ph.serial) serial += ph.instructions;
+  }
+  EXPECT_LT(static_cast<double>(serial) / static_cast<double>(total), 0.06);
+}
+
+TEST(Trace, DeterministicInSeed) {
+  const AppProfile& app = profile_by_name("fft");
+  Workload w(app, 4, 0.02, 7);
+  auto a = w.make_trace(1);
+  auto b = w.make_trace(1);
+  for (int i = 0; i < 10000; ++i) {
+    const TraceRecord ra = a->next();
+    const TraceRecord rb = b->next();
+    ASSERT_EQ(static_cast<int>(ra.kind), static_cast<int>(rb.kind));
+    ASSERT_EQ(ra.addr, rb.addr);
+    ASSERT_EQ(ra.compute_cycles, rb.compute_cycles);
+    if (ra.kind == TraceKind::kEnd) break;
+  }
+}
+
+TEST(Trace, DifferentSeedsDiffer) {
+  const AppProfile& app = profile_by_name("fft");
+  Workload w1(app, 4, 0.02, 7);
+  Workload w2(app, 4, 0.02, 8);
+  auto a = w1.make_trace(1);
+  auto b = w2.make_trace(1);
+  int diffs = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const TraceRecord ra = a->next();
+    const TraceRecord rb = b->next();
+    if (ra.kind != rb.kind || ra.addr != rb.addr ||
+        ra.compute_cycles != rb.compute_cycles) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(Trace, AllThreadsEmitEveryBarrierInOrder) {
+  const AppProfile& app = profile_by_name("volrend");
+  const std::size_t threads = 4;
+  Workload w(app, threads, 0.02, 11);
+  for (std::size_t t = 0; t < threads; ++t) {
+    auto trace = w.make_trace(t);
+    const Drained d = drain(*trace);
+    ASSERT_EQ(d.barriers.size(), w.plan().num_barriers) << "thread " << t;
+    for (std::uint32_t i = 0; i < d.barriers.size(); ++i) {
+      EXPECT_EQ(d.barriers[i], i);
+    }
+  }
+}
+
+TEST(Trace, SerialWorkOnlyOnThreadZero) {
+  AppProfile app = profile_by_name("cholesky");
+  Workload w(app, 4, 0.02, 3);
+  const Drained d0 = drain(*w.make_trace(0));
+  const Drained d1 = drain(*w.make_trace(1));
+  // Thread 0 carries the serial phases on top of its parallel share.
+  EXPECT_GT(static_cast<double>(d0.instructions),
+            1.5 * static_cast<double>(d1.instructions));
+}
+
+TEST(Trace, MemFractionCalibrated) {
+  const AppProfile& app = profile_by_name("radix");
+  Workload w(app, 4, 0.02, 5);
+  const Drained d = drain(*w.make_trace(2));
+  EXPECT_NEAR(static_cast<double>(d.mem_ops) / static_cast<double>(d.instructions),
+              app.mem_fraction, 0.06);
+}
+
+TEST(Trace, ReadFractionCalibrated) {
+  const AppProfile& app = profile_by_name("raytrace");
+  Workload w(app, 4, 0.02, 5);
+  const Drained d = drain(*w.make_trace(0));
+  const double writes =
+      static_cast<double>(d.stores) / static_cast<double>(d.mem_ops);
+  EXPECT_NEAR(writes, 1.0 - app.read_fraction, 0.05);
+}
+
+TEST(Trace, AddressesStayInsideRegions) {
+  const AppProfile& app = profile_by_name("ocean_contiguous");
+  Workload w(app, 8, 0.01, 13);
+  auto trace = w.make_trace(3);
+  for (int i = 0; i < 50000; ++i) {
+    const TraceRecord r = trace->next();
+    if (r.kind == TraceKind::kEnd) break;
+    if (r.kind != TraceKind::kMem) continue;
+    if (r.op == MemOp::kInstrFetch) {
+      EXPECT_GE(r.addr, AddressMap::kCodeBase);
+      EXPECT_LT(r.addr, AddressMap::kCodeBase + app.code_bytes);
+    } else if (r.addr >= AddressMap::kSharedBase) {
+      EXPECT_LT(r.addr, AddressMap::kSharedBase + app.working_set_bytes);
+    } else {
+      EXPECT_GE(r.addr, AddressMap::private_base(3));
+      EXPECT_LT(r.addr, AddressMap::private_base(3) + app.private_bytes);
+    }
+  }
+}
+
+TEST(Trace, WorkingSetCoverageTracksProfile) {
+  // Across all threads, a capacity-hungry app (ocean, 2.5 MB) touches far
+  // more distinct shared lines than a small-WS app (volrend, 160 KB),
+  // because the small app *saturates* its region — this is exactly why
+  // PC16-MB8 (512 KB of L2) hurts one group and not the other.
+  auto coverage = [](const char* name) {
+    Workload w(profile_by_name(name), 4, 0.2, 17);
+    std::set<Addr> lines;
+    for (std::size_t t = 0; t < 4; ++t) {
+      const Drained d = drain(*w.make_trace(t));
+      lines.insert(d.shared_lines.begin(), d.shared_lines.end());
+    }
+    return lines.size();
+  };
+  const std::size_t big = coverage("ocean_contiguous");
+  const std::size_t small = coverage("volrend");
+  // volrend cannot exceed its working set...
+  EXPECT_LE(small, profile_by_name("volrend").working_set_bytes / 32);
+  // ...while ocean blows far past volrend's entire region.
+  EXPECT_GT(big, 2 * small);
+}
+
+TEST(Trace, IfetchCadence) {
+  const AppProfile& app = profile_by_name("fft");
+  Workload w(app, 4, 0.02, 5);
+  const Drained d = drain(*w.make_trace(1));
+  const double per_ifetch =
+      static_cast<double>(d.instructions) / static_cast<double>(d.ifetches);
+  EXPECT_NEAR(per_ifetch, app.ifetch_every, app.ifetch_every * 0.25);
+}
+
+TEST(Trace, ImbalanceSpreadsShares) {
+  AppProfile app = profile_by_name("raytrace");  // imbalance 0.30
+  Workload w(app, 8, 0.05, 23);
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (std::size_t t = 0; t < 8; ++t) {
+    const Drained d = drain(*w.make_trace(t));
+    lo = std::min(lo, d.instructions);
+    hi = std::max(hi, d.instructions);
+  }
+  EXPECT_GT(static_cast<double>(hi) / static_cast<double>(lo), 1.05);
+}
+
+}  // namespace
+}  // namespace mot3d::workload
