@@ -6,11 +6,15 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "phys/technology.hpp"
 #include "phys/wire.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mot3d;
+  // Analytic bench (no simulation): options are parsed only so that typoed
+  // flags fail loudly instead of being silently ignored.
+  (void)bench::parse_options(argc, argv);
 
   phys::TechnologyParams tech = phys::default_technology();
   std::cout << "### Ablation: repeater insertion on the MoT channel wires\n";

@@ -9,11 +9,15 @@
 #include "common/table.hpp"
 #include "core/mot_timing.hpp"
 #include "core/power_state.hpp"
+#include "harness.hpp"
 #include "phys/geometry.hpp"
 #include "phys/technology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mot3d;
+  // Analytic bench (no simulation): options are parsed only so that typoed
+  // flags fail loudly instead of being silently ignored.
+  (void)bench::parse_options(argc, argv);
 
   const phys::TechnologyParams tech = phys::default_technology();
   const phys::FloorplanParams fp;

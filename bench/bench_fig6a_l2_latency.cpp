@@ -24,12 +24,21 @@ int main(int argc, char** argv) {
   for (auto f : fabrics) header.push_back(cluster::fabric_name(f));
   tbl.set_header(header);
 
+  Sweep sweep(opt, "fig6a_l2_latency");
+  for (const std::string& app : workload::splash2_names()) {
+    for (cluster::Fabric f : fabrics) {
+      sweep.add(app, f, core::PowerState::full(), mem::DramPreset::kDdr3_200ns);
+    }
+  }
+  sweep.run();
+
+  // Consume in queue order: apps outer, fabrics inner, same as above.
   std::vector<std::vector<double>> hit_means(fabrics.size());
+  std::size_t k = 0;
   for (const std::string& app : workload::splash2_names()) {
     std::vector<std::string> row = {app};
     for (std::size_t fi = 0; fi < fabrics.size(); ++fi) {
-      const cluster::SimResult r = run_app(app, fabrics[fi], core::PowerState::full(),
-                                           mem::DramPreset::kDdr3_200ns, opt);
+      const cluster::SimResult& r = sweep[k++];
       hit_means[fi].push_back(r.l2_hit_latency.mean());
       row.push_back(fmt_fixed(r.l2_hit_latency.mean(), 1) + " / " +
                     fmt_fixed(r.l2_latency.mean(), 1) + " / " +
@@ -49,5 +58,6 @@ int main(int argc, char** argv) {
                     ? "PASS"
                     : "CHECK")
             << "\n";
+  sweep.report();
   return 0;
 }

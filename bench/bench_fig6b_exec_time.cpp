@@ -22,14 +22,22 @@ int main(int argc, char** argv) {
   for (auto f : fabrics) header.push_back(cluster::fabric_name(f));
   tbl.set_header(header);
 
+  Sweep sweep(opt, "fig6b_exec_time");
+  for (const std::string& app : workload::splash2_names()) {
+    for (cluster::Fabric f : fabrics) {
+      sweep.add(app, f, core::PowerState::full(), mem::DramPreset::kDdr3_200ns);
+    }
+  }
+  sweep.run();
+
   // reductions[i] = per-app reduction of MoT vs fabric i (i in 0..2).
+  // Consume in queue order: apps outer, fabrics inner, same as above.
   std::vector<std::vector<double>> reductions(3);
+  std::size_t k = 0;
   for (const std::string& app : workload::splash2_names()) {
     std::vector<double> cycles;
-    for (auto f : fabrics) {
-      cycles.push_back(static_cast<double>(
-          run_app(app, f, core::PowerState::full(), mem::DramPreset::kDdr3_200ns, opt)
-              .cycles));
+    for (std::size_t fi = 0; fi < fabrics.size(); ++fi) {
+      cycles.push_back(static_cast<double>(sweep[k++].cycles));
     }
     std::vector<std::string> row = {app};
     for (double c : cycles) {
@@ -51,5 +59,6 @@ int main(int argc, char** argv) {
                fmt_percent(paper[i])});
   }
   s.print(std::cout);
+  sweep.report();
   return 0;
 }

@@ -23,13 +23,22 @@ int main(int argc, char** argv) {
   for (const auto& s : states) header.push_back(s.name());
   tbl.set_header(header);
 
+  Sweep sweep(opt, "fig7b_exec_time_states");
+  std::map<std::string, std::map<std::string, std::size_t>> idx;
+  for (const std::string& app : workload::splash2_names()) {
+    for (const core::PowerState& s : states) {
+      idx[app][s.name()] =
+          sweep.add(app, cluster::Fabric::kMot, s, mem::DramPreset::kDdr3_200ns);
+    }
+  }
+  sweep.run();
+
   std::map<std::string, std::map<std::string, double>> cycles;
   for (const std::string& app : workload::splash2_names()) {
     std::vector<std::string> row = {app};
     double base = 0.0;
     for (const core::PowerState& s : states) {
-      const cluster::SimResult r =
-          run_app(app, cluster::Fabric::kMot, s, mem::DramPreset::kDdr3_200ns, opt);
+      const cluster::SimResult& r = sweep[idx[app][s.name()]];
       cycles[s.name()][app] = static_cast<double>(r.cycles);
       if (s.name() == "Full") base = static_cast<double>(r.cycles);
       row.push_back(fmt_fixed(r.cycles / 1000.0, 0) + " (" +
@@ -80,5 +89,6 @@ int main(int argc, char** argv) {
              fmt_percent(average(cost_large)), fmt_percent(max_of(cost_large)), "24%",
              "31%"});
   s.print(std::cout);
+  sweep.report();
   return 0;
 }

@@ -9,12 +9,16 @@
 #include "core/mot_timing.hpp"
 #include "core/power_state.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "mem/dram.hpp"
 #include "phys/geometry.hpp"
 #include "phys/technology.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mot3d;
+  // Analytic bench (no simulation): options are parsed only so that typoed
+  // flags fail loudly instead of being silently ignored.
+  (void)bench::parse_options(argc, argv);
 
   std::cout << "### Table I — architecture configurations\n";
 

@@ -1,10 +1,13 @@
 // Shared implementation of the Fig. 7(a) / Fig. 8(a,b) EDP experiments:
 // 8 SPLASH-2 apps x 4 power states on the MoT cluster at a given DRAM
-// latency, EDP normalised to Full connection.
+// latency, EDP normalised to Full connection.  All 32 runs are queued on
+// the Sweep up-front and executed across the --threads pool; the tables
+// consume them in queue order, so output is identical at any thread count.
 #pragma once
 
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "harness.hpp"
 
@@ -25,6 +28,15 @@ inline EdpSeries run_edp_experiment(mem::DramPreset preset, const Options& opt,
                    " ns",
                opt);
 
+  Sweep sweep(opt, figure_tag);
+  std::map<std::string, std::map<std::string, std::size_t>> idx;  // app -> state -> i
+  for (const std::string& app : workload::splash2_names()) {
+    for (const core::PowerState& s : states) {
+      idx[app][s.name()] = sweep.add(app, cluster::Fabric::kMot, s, preset);
+    }
+  }
+  sweep.run();
+
   EdpSeries series;
   TextTable tbl("EDP normalised to Full connection (exec time normalised in parens)");
   std::vector<std::string> header = {"benchmark"};
@@ -35,8 +47,7 @@ inline EdpSeries run_edp_experiment(mem::DramPreset preset, const Options& opt,
     double base_edp = 0.0, base_cycles = 0.0;
     std::vector<std::string> row = {app};
     for (const core::PowerState& s : states) {
-      const cluster::SimResult r =
-          run_app(app, cluster::Fabric::kMot, s, preset, opt);
+      const cluster::SimResult& r = sweep[idx[app][s.name()]];
       if (s.name() == "Full") {
         base_edp = r.edp_pj_s;
         base_cycles = static_cast<double>(r.cycles);
@@ -62,6 +73,10 @@ inline EdpSeries run_edp_experiment(mem::DramPreset preset, const Options& opt,
     }
   }
   std::cout << "  (" << winners << "/8)\n";
+
+  sim::JsonObject extra;
+  extra.set("dram_latency_ns", mem::dram_latency_ns(preset));
+  sweep.report(extra);
   return series;
 }
 

@@ -1,11 +1,25 @@
 // Shared experiment harness for the per-figure bench binaries.
 //
-// Every binary accepts:  --scale=<double>  (fraction of each app's full
-// instruction budget; default 0.5 balances runtime against working-set reuse) and
-// --seed=<u64>.  Results are shape-stable in scale — the paper's absolute
-// testbed numbers are not reproducible by construction (see DESIGN.md), so
-// each bench prints our measured series next to the paper's reported
-// deltas for comparison.
+// Every binary accepts:
+//   --scale=<double>    fraction of each app's full instruction budget
+//                       (default 0.5 balances runtime against working-set
+//                       reuse; Fig. 6 benches default to 0.25)
+//   --seed=<u64>        workload RNG seed (default 42)
+//   --threads=<n>       sweep worker threads; 0 = hardware concurrency
+//   --json=<path>       write a perf-telemetry JSON report (BENCH_*.json)
+//   --scheduler=event|dense
+//                       cluster time-advance mode (default: event; results
+//                       are bit-identical, only wall-clock differs)
+// Unknown flags are rejected with an error — a typo like --sacle=0.5 must
+// never silently fall back to the default.
+//
+// Results are shape-stable in scale — the paper's absolute testbed numbers
+// are not reproducible by construction (see DESIGN.md), so each bench
+// prints our measured series next to the paper's reported deltas.
+//
+// Sweeps run through sim::SweepRunner: configurations are queued first,
+// executed across a thread pool, and consumed in queue order, so output is
+// byte-identical at any thread count.
 #pragma once
 
 #include <cmath>
@@ -13,10 +27,13 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "common/table.hpp"
+#include "sim/perf_report.hpp"
+#include "sim/sweep_runner.hpp"
 #include "workload/app_profile.hpp"
 
 namespace mot3d::bench {
@@ -24,7 +41,38 @@ namespace mot3d::bench {
 struct Options {
   double scale = 0.5;
   std::uint64_t seed = 42;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  std::string json_path;
+  cluster::SchedulerMode scheduler = cluster::SchedulerMode::kEventDriven;
 };
+
+inline void print_usage(std::ostream& os) {
+  os << "usage: bench [--scale=<double>] [--seed=<u64>] [--threads=<n>]\n"
+     << "             [--json=<path>] [--scheduler=event|dense]\n";
+}
+
+[[noreturn]] inline void usage_error(const std::string& msg) {
+  std::cerr << "error: " << msg << "\n";
+  print_usage(std::cerr);
+  std::exit(2);
+}
+
+/// Whole-string numeric parsers: trailing junk (--scale=0,75, --seed=5abc)
+/// must fail loudly, not silently truncate at the first bad character.
+inline double parse_double_value(const std::string& flag, const std::string& v) {
+  std::size_t pos = 0;
+  const double d = std::stod(v, &pos);  // throws on empty/non-numeric
+  if (pos != v.size()) usage_error("malformed value in '" + flag + "'");
+  return d;
+}
+
+inline std::uint64_t parse_u64_value(const std::string& flag, const std::string& v) {
+  if (v.empty() || v[0] == '-') usage_error("malformed value in '" + flag + "'");
+  std::size_t pos = 0;
+  const std::uint64_t n = std::stoull(v, &pos);
+  if (pos != v.size()) usage_error("malformed value in '" + flag + "'");
+  return n;
+}
 
 /// `default_scale`: the Fig. 7/8 EDP experiments need working-set *reuse*
 /// (scale 0.5); the Fig. 6 interconnect comparison has no capacity story
@@ -34,20 +82,133 @@ inline Options parse_options(int argc, char** argv, double default_scale = 0.5) 
   opt.scale = default_scale;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--scale=", 0) == 0) opt.scale = std::stod(arg.substr(8));
-    if (arg.rfind("--seed=", 0) == 0) opt.seed = std::stoull(arg.substr(7));
+    try {
+      if (arg.rfind("--scale=", 0) == 0) {
+        opt.scale = parse_double_value(arg, arg.substr(8));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        opt.seed = parse_u64_value(arg, arg.substr(7));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        const std::uint64_t n = parse_u64_value(arg, arg.substr(10));
+        if (n > 1024) {
+          usage_error("--threads=" + arg.substr(10) + " is out of range (max 1024)");
+        }
+        opt.threads = static_cast<unsigned>(n);
+      } else if (arg.rfind("--json=", 0) == 0) {
+        opt.json_path = arg.substr(7);
+        if (opt.json_path.empty()) usage_error("--json= needs a path");
+      } else if (arg.rfind("--scheduler=", 0) == 0) {
+        const std::string mode = arg.substr(12);
+        if (mode == "event") {
+          opt.scheduler = cluster::SchedulerMode::kEventDriven;
+        } else if (mode == "dense") {
+          opt.scheduler = cluster::SchedulerMode::kDenseTick;
+        } else {
+          usage_error("unknown scheduler '" + mode + "' (want event|dense)");
+        }
+      } else if (arg == "--help" || arg == "-h") {
+        print_usage(std::cout);
+        std::exit(0);
+      } else {
+        usage_error("unknown option '" + arg + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      usage_error("malformed value in '" + arg + "'");
+    } catch (const std::out_of_range&) {
+      usage_error("value out of range in '" + arg + "'");
+    }
   }
-  if (const char* env = std::getenv("MOT3D_SCALE")) opt.scale = std::stod(env);
+  if (const char* env = std::getenv("MOT3D_SCALE")) {
+    try {
+      opt.scale = parse_double_value("MOT3D_SCALE=" + std::string(env), env);
+    } catch (const std::invalid_argument&) {
+      usage_error("malformed value in 'MOT3D_SCALE=" + std::string(env) + "'");
+    } catch (const std::out_of_range&) {
+      usage_error("value out of range in 'MOT3D_SCALE=" + std::string(env) + "'");
+    }
+  }
+  // Covers both --scale= and MOT3D_SCALE: the workload plan scales an
+  // instruction budget, so the fraction must be a positive finite number.
+  if (!std::isfinite(opt.scale) || opt.scale <= 0.0) {
+    usage_error("scale must be a positive finite number, got " +
+                std::to_string(opt.scale));
+  }
   return opt;
 }
 
+inline cluster::ClusterConfig make_config(const std::string& app,
+                                          cluster::Fabric fabric,
+                                          const core::PowerState& state,
+                                          mem::DramPreset dram,
+                                          const Options& opt) {
+  cluster::ClusterConfig cfg = cluster::make_paper_config(
+      workload::profile_by_name(app), fabric, state, dram, opt.scale, opt.seed);
+  cfg.scheduler = opt.scheduler;
+  return cfg;
+}
+
+/// One-off run (tests, ad-hoc probes).  Sweeping benches use Sweep below.
 inline cluster::SimResult run_app(const std::string& app, cluster::Fabric fabric,
                                   const core::PowerState& state,
                                   mem::DramPreset dram, const Options& opt) {
-  cluster::ClusterConfig cfg = cluster::make_paper_config(
-      workload::profile_by_name(app), fabric, state, dram, opt.scale, opt.seed);
-  return cluster::Cluster(cfg).run();
+  return cluster::Cluster(make_config(app, fabric, state, dram, opt)).run();
 }
+
+/// Queue-then-run sweep façade over sim::SweepRunner.  Queue every
+/// configuration with add() (which returns the result index), call run()
+/// once, then read results in any order; finally report() writes the
+/// --json perf telemetry.
+class Sweep {
+ public:
+  Sweep(const Options& opt, std::string bench_name)
+      : opt_(opt), name_(std::move(bench_name)), runner_(opt.threads) {}
+
+  std::size_t add(const std::string& app, cluster::Fabric fabric,
+                  const core::PowerState& state, mem::DramPreset dram) {
+    const cluster::ClusterConfig cfg = make_config(app, fabric, state, dram, opt_);
+    tasks_.push_back([cfg] { return cluster::Cluster(cfg).run(); });
+    return tasks_.size() - 1;
+  }
+
+  void run() {
+    results_ = runner_.run(tasks_);
+    tasks_.clear();
+  }
+
+  const cluster::SimResult& operator[](std::size_t i) const {
+    return results_.at(i);
+  }
+  std::size_t size() const { return results_.size(); }
+  const sim::PerfTelemetry& telemetry() const { return runner_.telemetry(); }
+
+  /// Print the wall-clock summary and write the --json report (if any).
+  /// `extra` lets a bench append its own fields to the JSON object.
+  void report(sim::JsonObject extra = {}) const {
+    const sim::PerfTelemetry& t = runner_.telemetry();
+    std::cout << "[perf] " << t.runs << " runs, "
+              << fmt_fixed(t.wall_seconds, 2) << " s wall, "
+              << fmt_fixed(t.cycles_per_second() / 1e6, 2)
+              << " M simulated cycles/s, threads=" << t.threads
+              << ", scheduler=" << cluster::scheduler_name(opt_.scheduler) << "\n";
+    if (opt_.json_path.empty()) return;
+    sim::JsonObject fields;
+    fields.set("scale", opt_.scale)
+        .set("seed", opt_.seed)
+        .set("scheduler", cluster::scheduler_name(opt_.scheduler));
+    fields.merge(extra);
+    if (sim::write_perf_report(opt_.json_path, name_, t, fields)) {
+      std::cout << "[perf] report written to " << opt_.json_path << "\n";
+    } else {
+      std::cerr << "warning: could not write " << opt_.json_path << "\n";
+    }
+  }
+
+ private:
+  Options opt_;
+  std::string name_;
+  sim::SweepRunner runner_;
+  std::vector<sim::SweepRunner::Task> tasks_;
+  std::vector<cluster::SimResult> results_;
+};
 
 inline double average(const std::vector<double>& v) {
   double s = 0.0;

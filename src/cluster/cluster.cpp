@@ -1,9 +1,18 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace mot3d::cluster {
+
+const char* scheduler_name(SchedulerMode m) {
+  switch (m) {
+    case SchedulerMode::kEventDriven: return "event";
+    case SchedulerMode::kDenseTick: return "dense";
+  }
+  return "?";
+}
 
 const char* fabric_name(Fabric f) {
   switch (f) {
@@ -129,7 +138,43 @@ void Cluster::tick_once() {
   ++now_;
 }
 
+// Identical to tick_once() except that each component is ticked only when
+// its next-event contract says this cycle can change its state — skipped
+// ticks are no-ops by that contract, so results are unchanged.  The gates
+// are evaluated just-in-time because earlier phases of the same cycle may
+// stimulate later components (core -> interconnect -> L2 -> DRAM).
+void Cluster::tick_once_event() {
+  for (CoreId c : active_cores_) cores_[c]->tick(now_);
+  for (CoreId c : active_cores_) {
+    cpu::Core& core = *cores_[c];
+    if (core.pending_request().has_value() &&
+        interconnect_->try_inject_request(*core.pending_request(), now_)) {
+      core.injection_accepted(now_);
+    }
+  }
+  if (interconnect_->next_event(now_) <= now_) interconnect_->tick(now_);
+  if (l2_->next_event(now_) <= now_) l2_->tick(now_);
+  if (dram_->next_event(now_) <= now_) dram_->tick(now_);
+  ++now_;
+}
+
+Cycle Cluster::next_event_cycle() const {
+  Cycle next = kNeverCycle;
+  for (CoreId c : active_cores_) {
+    next = std::min(next, cores_[c]->next_event(now_));
+    if (next <= now_) return now_;
+  }
+  next = std::min(next, interconnect_->next_event(now_));
+  if (next <= now_) return now_;
+  next = std::min(next, l2_->next_event(now_));
+  if (next <= now_) return now_;
+  next = std::min(next, dram_->next_event(now_));
+  return std::max(next, now_);
+}
+
 void Cluster::step(Cycle cycles) {
+  // Always dense: examples and reconfiguration demos rely on exact
+  // cycle-by-cycle stepping regardless of the configured scheduler.
   for (Cycle i = 0; i < cycles; ++i) tick_once();
 }
 
@@ -141,11 +186,36 @@ bool Cluster::finished() const {
 }
 
 SimResult Cluster::run() {
+  if (cfg_.scheduler == SchedulerMode::kDenseTick) {
+    while (!finished()) {
+      if (now_ >= cfg_.max_cycles) {
+        throw std::runtime_error("simulation exceeded max_cycles — livelock?");
+      }
+      tick_once();
+    }
+    return collect_result();
+  }
+
+  // Event-driven: whenever nothing can happen this cycle, jump straight to
+  // the earliest future event, batch-accounting the skipped cycles on every
+  // core so all statistics stay bit-identical to the dense reference.
   while (!finished()) {
     if (now_ >= cfg_.max_cycles) {
       throw std::runtime_error("simulation exceeded max_cycles — livelock?");
     }
-    tick_once();
+    const Cycle next = next_event_cycle();
+    if (next > now_) {
+      if (next == kNeverCycle) {
+        throw std::runtime_error(
+            "deadlock: no component reports a future event but the run has "
+            "not finished");
+      }
+      const Cycle target = std::min(next, cfg_.max_cycles);
+      for (CoreId c : active_cores_) cores_[c]->skip(now_, target);
+      now_ = target;
+      continue;
+    }
+    tick_once_event();
   }
   return collect_result();
 }

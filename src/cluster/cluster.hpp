@@ -36,6 +36,18 @@ enum class Fabric { kMot, kTrueMesh3d, kHybridBusMesh, kHybridBusTree };
 
 const char* fabric_name(Fabric f);
 
+/// How Cluster::run() advances simulated time.
+///
+/// kEventDriven fast-forwards over quiescent stretches (every component
+/// reports, via the next-event contract of DESIGN.md, the earliest cycle it
+/// can change state; when that is in the future the scheduler jumps there,
+/// batch-accounting per-cycle core statistics).  All modeled results are
+/// bit-identical to kDenseTick, the reference per-cycle loop, which is kept
+/// for differential testing.
+enum class SchedulerMode { kEventDriven, kDenseTick };
+
+const char* scheduler_name(SchedulerMode m);
+
 struct ClusterConfig {
   // -- architecture (Table I) --
   std::size_t total_cores = 16;
@@ -63,6 +75,7 @@ struct ClusterConfig {
   std::uint64_t seed = 42;
 
   // -- simulation --
+  SchedulerMode scheduler = SchedulerMode::kEventDriven;
   Cycle max_cycles = 200'000'000;       ///< runaway guard
   /// Pre-load each core's L1I with the app's code footprint.  Scaled-down
   /// traces over-weight cold-start instruction misses; the paper's numbers
@@ -134,6 +147,10 @@ class Cluster {
 
  private:
   void tick_once();
+  void tick_once_event();
+
+  /// Minimum over every component's next_event(now_); never below now_.
+  Cycle next_event_cycle() const;
 
   ClusterConfig cfg_;
   std::unique_ptr<mem::DramBackend> dram_;

@@ -26,6 +26,13 @@ struct InterconnectStats {
 
 /// Cycle-driven transport.  The cluster drives tick() once per cycle after
 /// the cores; deliveries happen through the registered sinks.
+///
+/// Implementations additionally honour the *next-event contract* (see
+/// DESIGN.md): next_event(now) returns the earliest cycle >= now at which
+/// tick() could change any observable state or statistic.  A tick() at any
+/// cycle strictly before that value must be a no-op, which lets the cluster
+/// scheduler fast-forward over quiescent stretches without changing modeled
+/// results.
 class Interconnect {
  public:
   /// Request arriving at a bank: `bank` already rewritten to the physical
@@ -49,6 +56,12 @@ class Interconnect {
 
   /// Nothing in flight.
   virtual bool idle() const = 0;
+
+  /// Earliest cycle >= `now` at which tick() could change state or stats;
+  /// kNeverCycle when nothing will ever happen without new input.  The
+  /// default is maximally conservative (an event every cycle), which keeps
+  /// unknown implementations correct but disables cycle skipping.
+  virtual Cycle next_event(Cycle now) const { return now; }
 
   /// Cumulative transport dynamic energy, pJ.
   virtual double dynamic_energy_pj() const = 0;

@@ -1,5 +1,6 @@
 #include "core/mot_interconnect.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -14,7 +15,8 @@ MotInterconnect::MotInterconnect(const MotTimingModel& timing,
       state_timing_(timing.timing(initial)),
       routing_(initial.total_banks()),
       core_slot_(initial.total_cores()),
-      bank_free_at_(initial.total_banks(), 0) {
+      bank_free_at_(initial.total_banks(), 0),
+      requesting_(initial.total_cores(), false) {
   bank_arbiters_.reserve(initial.total_banks());
   for (std::size_t b = 0; b < initial.total_banks(); ++b) {
     bank_arbiters_.emplace_back(initial.total_cores());
@@ -70,18 +72,17 @@ void MotInterconnect::tick(Cycle now) {
   // 2. Per-bank arbitration among the requests that have traversed their
   //    routing trees.  One grant per bank per cycle, gated by the circuit
   //    hold of the previous transaction.
-  std::vector<bool> requesting(core_slot_.size(), false);
   for (BankId b = 0; b < bank_arbiters_.size(); ++b) {
     if (!state_.bank_active(b) || bank_free_at_[b] > now) continue;
     bool any = false;
     for (CoreId c = 0; c < core_slot_.size(); ++c) {
       const InFlight& s = core_slot_[c];
       const bool wants = s.valid && s.physical_bank == b && s.eligible <= now;
-      requesting[c] = wants;
+      requesting_[c] = wants;
       any = any || wants;
     }
     if (!any) continue;
-    const std::optional<CoreId> winner = bank_arbiters_[b].arbitrate(requesting);
+    const std::optional<CoreId> winner = bank_arbiters_[b].arbitrate(requesting_);
     assert(winner.has_value());
     InFlight& s = core_slot_[*winner];
     stats_.arbitration_wait_cycles += now - s.eligible;
@@ -92,6 +93,26 @@ void MotInterconnect::tick(Cycle now) {
     s.valid = false;
     if (request_sink_) request_sink_(delivered, now);
   }
+}
+
+Cycle MotInterconnect::next_event(Cycle now) const {
+  Cycle next = kNeverCycle;
+  // Head-of-line response delivery: tick() drains strictly from the front.
+  if (!responses_.empty()) {
+    next = std::max(responses_.front().due, now);
+    if (next <= now) return now;
+  }
+  // Earliest possible grant per held circuit: the request must have
+  // traversed its routing tree and the target bank's circuit hold must
+  // have expired.  Losing arbitration can only delay a grant to a later
+  // cycle that this bound re-derives after the winning grant is ticked.
+  for (const InFlight& s : core_slot_) {
+    if (!s.valid) continue;
+    const Cycle c = std::max({s.eligible, bank_free_at_[s.physical_bank], now});
+    next = std::min(next, c);
+    if (next <= now) return now;
+  }
+  return next;
 }
 
 bool MotInterconnect::idle() const {

@@ -48,6 +48,7 @@ class MotInterconnect final : public Interconnect {
   bool try_inject_response(const MemResponse& resp, Cycle now) override;
   void tick(Cycle now) override;
   bool idle() const override;
+  Cycle next_event(Cycle now) const override;
 
   double dynamic_energy_pj() const override { return dynamic_energy_pj_; }
   double leakage_mw() const override { return timing_.leakage_mw(state_); }
@@ -87,6 +88,7 @@ class MotInterconnect final : public Interconnect {
   std::vector<InFlight> core_slot_;        ///< one outstanding per core
   std::vector<Cycle> bank_free_at_;        ///< circuit hold per bank
   std::deque<PendingResponse> responses_;  ///< constant-delay return path
+  std::vector<bool> requesting_;           ///< tick() scratch (hot path)
   double dynamic_energy_pj_ = 0.0;
 };
 

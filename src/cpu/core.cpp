@@ -46,6 +46,52 @@ void Core::tick(Cycle now) {
   }
 }
 
+Cycle Core::next_event(Cycle now) const {
+  switch (state_) {
+    case State::kFetch:
+    case State::kWaitInject:
+      return now;  // consumes a record / retries injection every cycle
+    case State::kCompute:
+      return now + compute_remaining_;
+    case State::kAtBarrier:
+      return barriers_.released(barrier_id_) ? now : kNeverCycle;
+    case State::kWaitMem:
+    case State::kWaitIFetch:
+    case State::kDone:
+      return kNeverCycle;  // woken externally (or never)
+  }
+  return now;
+}
+
+void Core::skip(Cycle from, Cycle to) {
+  const Cycle delta = to - from;
+  if (delta == 0) return;
+  switch (state_) {
+    case State::kDone:
+      stats_.idle_cycles += delta;
+      return;
+    case State::kWaitMem:
+    case State::kWaitIFetch:
+      stats_.stall_cycles += delta;
+      return;
+    case State::kAtBarrier:
+      assert(!barriers_.released(barrier_id_));
+      stats_.spin_cycles += delta;
+      return;
+    case State::kCompute:
+      assert(delta <= compute_remaining_);
+      stats_.busy_cycles += delta;
+      stats_.instructions += delta;
+      compute_remaining_ -= static_cast<std::uint32_t>(delta);
+      if (compute_remaining_ == 0) state_ = State::kFetch;
+      return;
+    case State::kFetch:
+    case State::kWaitInject:
+      assert(false && "skipped over a core that could make progress");
+      return;
+  }
+}
+
 void Core::process_next_record(Cycle now) {
   // Instruction-cache hits are overlapped with execution (zero cost), so we
   // may chain through a bounded number of them within one cycle.

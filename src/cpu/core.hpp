@@ -60,6 +60,18 @@ class Core {
   /// Advance one cycle.
   void tick(Cycle now);
 
+  /// Next-event contract (see DESIGN.md): earliest cycle >= `now` at which
+  /// tick() could do anything beyond the per-cycle stat accrual that skip()
+  /// reproduces.  kNeverCycle while blocked on memory, the barrier or after
+  /// kEnd — those states only change through external wake-ups.
+  Cycle next_event(Cycle now) const;
+
+  /// Batch-account the cycles [from, to) exactly as `to - from` dense
+  /// tick() calls would, for states where ticks are pure stat accrual
+  /// (stall/spin/idle) or a deterministic compute burn-down.  The caller
+  /// (the cluster scheduler) must guarantee to <= next_event(from).
+  void skip(Cycle from, Cycle to);
+
   /// The L2 request (if any) waiting for an interconnect slot.  The cluster
   /// calls injection_accepted() once the interconnect takes it.
   const std::optional<MemRequest>& pending_request() const { return pending_; }

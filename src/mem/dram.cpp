@@ -1,5 +1,6 @@
 #include "mem/dram.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -64,12 +65,14 @@ void DramBackend::tick(Cycle now) {
   }
 
   // Miss-bus arbitration: one grant per bus-free window, round-robin over
-  // requester queues (the paper's round-robin line-refill policy).
+  // requester queues (the paper's round-robin line-refill policy).  A
+  // transaction enqueued with a future cycle (the L2 dates miss refills
+  // after the tag check) only competes once that cycle has arrived.
   if (bus_free_at_ > now || pending_count_ == 0) return;
   const std::size_t n = queues_.size();
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t q = (rr_next_ + i) % n;
-    if (queues_[q].empty()) continue;
+    if (queues_[q].empty() || queues_[q].front().enqueued > now) continue;
     Txn txn = std::move(queues_[q].front());
     queues_[q].pop_front();
     --pending_count_;
@@ -97,5 +100,20 @@ void DramBackend::tick(Cycle now) {
 }
 
 bool DramBackend::idle() const { return pending_count_ == 0 && in_flight_ == 0; }
+
+Cycle DramBackend::next_event(Cycle now) const {
+  Cycle next = kNeverCycle;
+  if (!completions_.empty()) next = std::max(completions_.top().due, now);
+  if (pending_count_ > 0) {
+    // Per-requester FIFOs grant strictly from the head; the earliest
+    // grant is bounded by the bus and the earliest head arrival.
+    for (const auto& q : queues_) {
+      if (q.empty()) continue;
+      next = std::min(next, std::max({bus_free_at_, q.front().enqueued, now}));
+      if (next <= now) break;
+    }
+  }
+  return next;
+}
 
 }  // namespace mot3d::mem

@@ -80,6 +80,10 @@ class DramBackend {
   /// end-of-run and reconfiguration drain).
   bool idle() const;
 
+  /// Next-event contract (see DESIGN.md): earliest cycle >= `now` at which
+  /// tick() could fire a completion or grant the Miss bus.
+  Cycle next_event(Cycle now) const;
+
   const DramStats& stats() const { return stats_; }
   const DramConfig& config() const { return cfg_; }
 

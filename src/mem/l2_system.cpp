@@ -1,5 +1,6 @@
 #include "mem/l2_system.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -95,6 +96,25 @@ void L2System::tick(Cycle now) {
       bank.out_queue.pop_front();
     }
   }
+}
+
+Cycle L2System::next_event(Cycle now) const {
+  Cycle next = kNeverCycle;
+  for (const Bank& bank : banks_) {
+    if (!bank.in_queue.empty()) {
+      const Cycle start = std::max(bank.busy_until, now);
+      if (start <= now) return now;
+      next = std::min(next, start);
+    }
+    // Responses leave strictly from the front; a due-but-blocked response
+    // (interconnect back-pressure) keeps the bank ticking densely.
+    if (!bank.out_queue.empty()) {
+      const Cycle due = std::max(bank.out_queue.front().due, now);
+      if (due <= now) return now;
+      next = std::min(next, due);
+    }
+  }
+  return next;
 }
 
 bool L2System::idle() const {

@@ -77,6 +77,12 @@ class L2System {
   /// All queues empty and no access or miss in flight.
   bool idle() const;
 
+  /// Next-event contract (see DESIGN.md): earliest cycle >= `now` at which
+  /// tick() could start a bank access or release a response.  Misses in
+  /// flight carry no event of their own — the DRAM completion that ends
+  /// them is the DRAM backend's event.
+  Cycle next_event(Cycle now) const;
+
   /// Which banks are powered (affects leakage accounting and asserts that
   /// no request reaches a gated bank).  Does not move data — use flush().
   void set_active_banks(const std::vector<bool>& active);

@@ -1,5 +1,6 @@
 #include "noc/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -235,5 +236,38 @@ void NocNetwork::tick(Cycle now) {
 }
 
 bool NocNetwork::idle() const { return packets_.empty(); }
+
+Cycle NocNetwork::next_event(Cycle now) const {
+  if (packets_.empty()) return kNeverCycle;
+  Cycle next = kNeverCycle;
+  // Every queued flit sits at the head of exactly one FIFO (NI inject
+  // queue, bus slot, or router input buffer); only heads can move, so the
+  // earliest head ready_at bounds the next state change.  A head that is
+  // already ready may still be blocked by back-pressure or wormhole locks,
+  // which this bound conservatively reports as "event now".
+  for (const EndpointNi& ni : endpoints_) {
+    if (ni.inject_q.empty()) continue;
+    if (ni.inject_q.front().ready_at <= now) return now;
+    next = std::min(next, ni.inject_q.front().ready_at);
+  }
+  for (const Bus& bus : buses_) {
+    for (const Bus::Slot& slot : bus.slots) {
+      if (slot.q.empty()) continue;
+      const Cycle ready = std::max(slot.q.front().ready_at, bus.busy_until);
+      if (ready <= now) return now;
+      next = std::min(next, ready);
+    }
+  }
+  for (const Router& r : routers_) {
+    for (const InPort& ip : r.in) {
+      for (const auto& q : ip.q) {
+        if (q.empty()) continue;
+        if (q.front().ready_at <= now) return now;
+        next = std::min(next, q.front().ready_at);
+      }
+    }
+  }
+  return next;
+}
 
 }  // namespace mot3d::noc

@@ -107,6 +107,11 @@ class NocNetwork {
   void tick(Cycle now);
   bool idle() const;
 
+  /// Next-event contract (see DESIGN.md): earliest cycle >= `now` at which
+  /// tick() could move a flit.  Any flit that is ready but back-pressured
+  /// pins the result to `now` (dense ticking resumes until it drains).
+  Cycle next_event(Cycle now) const;
+
   const NocConfig& config() const { return cfg_; }
   const NocTransportStats& transport_stats() const { return stats_; }
   std::size_t num_routers() const { return routers_.size(); }

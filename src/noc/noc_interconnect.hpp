@@ -27,6 +27,7 @@ class NocInterconnect final : public Interconnect {
   bool try_inject_response(const MemResponse& resp, Cycle now) override;
   void tick(Cycle now) override;
   bool idle() const override { return net_.idle(); }
+  Cycle next_event(Cycle now) const override { return net_.next_event(now); }
 
   double dynamic_energy_pj() const override;
   double leakage_mw() const override;

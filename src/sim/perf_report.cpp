@@ -1,0 +1,98 @@
+#include "sim/perf_report.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace mot3d::sim {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);  // shortest round-trip
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const char* value) {
+  return set(key, std::string(value));
+}
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  fields_.emplace_back(key, json_number(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, std::uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::merge(const JsonObject& other) {
+  fields_.insert(fields_.end(), other.fields_.begin(), other.fields_.end());
+  return *this;
+}
+
+std::string JsonObject::str() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+bool write_perf_report(const std::string& path, const std::string& bench,
+                       const PerfTelemetry& telemetry, JsonObject extra) {
+  JsonObject obj;
+  obj.set("bench", bench)
+      .set("threads", telemetry.threads)
+      .set("runs", telemetry.runs)
+      .set("simulated_cycles", telemetry.simulated_cycles)
+      .set("wall_seconds", telemetry.wall_seconds)
+      .set("cycles_per_second", telemetry.cycles_per_second());
+  obj.merge(extra);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << obj.str() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace mot3d::sim

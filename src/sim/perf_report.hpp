@@ -1,0 +1,45 @@
+// Perf-trajectory JSON reports for the bench harness (--json=).
+//
+// Each bench binary can dump one flat JSON object with its identity, knobs
+// and SweepRunner telemetry (wall seconds, simulated cycles, cycles/s) so
+// successive PRs can chart simulator throughput over time (BENCH_*.json).
+// The writer is deliberately tiny: flat objects, insertion-ordered keys,
+// deterministic number formatting — no external JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/sweep_runner.hpp"
+
+namespace mot3d::sim {
+
+/// Flat JSON object with insertion-ordered, deterministic serialisation.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value);
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::uint64_t value);
+  JsonObject& set(const std::string& key, unsigned value) {
+    return set(key, static_cast<std::uint64_t>(value));
+  }
+  JsonObject& set(const std::string& key, bool value);
+
+  /// Append every field of `other` after this object's own fields.
+  JsonObject& merge(const JsonObject& other);
+
+  std::string str() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  ///< key -> raw json
+};
+
+/// Canonical bench perf report (bench name + telemetry + extra fields
+/// already staged in `extra`).  Returns false if `path` cannot be written.
+bool write_perf_report(const std::string& path, const std::string& bench,
+                       const PerfTelemetry& telemetry, JsonObject extra = {});
+
+}  // namespace mot3d::sim

@@ -1,0 +1,157 @@
+// Differential tests for the event-driven scheduler: the quiescence-
+// skipping run loop must produce *bit-identical* results to the dense
+// per-cycle reference on every fabric, power state and DRAM preset —
+// cycles, latency histograms, every counter and every energy ledger entry.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace mot3d::cluster {
+namespace {
+
+ClusterConfig cfg_for(const char* app, Fabric fabric, const core::PowerState& state,
+                      mem::DramPreset dram, SchedulerMode scheduler,
+                      double scale = 0.01) {
+  ClusterConfig cfg = make_paper_config(workload::profile_by_name(app), fabric,
+                                        state, dram, scale, 42);
+  cfg.scheduler = scheduler;
+  return cfg;
+}
+
+void expect_same_histogram(const Histogram& a, const Histogram& b,
+                           const char* what) {
+  ASSERT_EQ(a.num_buckets(), b.num_buckets()) << what;
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.overflow(), b.overflow()) << what;
+  for (std::size_t i = 0; i < a.num_buckets(); ++i) {
+    ASSERT_EQ(a.bucket_count(i), b.bucket_count(i)) << what << " bucket " << i;
+  }
+}
+
+void expect_same_result(const SimResult& dense, const SimResult& event) {
+  EXPECT_EQ(dense.cycles, event.cycles);
+  EXPECT_EQ(dense.instructions, event.instructions);
+
+  expect_same_histogram(dense.l2_latency, event.l2_latency, "l2_latency");
+  expect_same_histogram(dense.l2_hit_latency, event.l2_hit_latency,
+                        "l2_hit_latency");
+
+  EXPECT_EQ(dense.l2.hits, event.l2.hits);
+  EXPECT_EQ(dense.l2.misses, event.l2.misses);
+  EXPECT_EQ(dense.l2.writebacks, event.l2.writebacks);
+  EXPECT_EQ(dense.l2.bank_conflict_cycles, event.l2.bank_conflict_cycles);
+  EXPECT_DOUBLE_EQ(dense.l2.dynamic_energy_pj, event.l2.dynamic_energy_pj);
+
+  EXPECT_EQ(dense.dram.reads, event.dram.reads);
+  EXPECT_EQ(dense.dram.writes, event.dram.writes);
+  EXPECT_EQ(dense.dram.total_wait_cycles, event.dram.total_wait_cycles);
+  EXPECT_DOUBLE_EQ(dense.dram.dynamic_energy_pj, event.dram.dynamic_energy_pj);
+
+  EXPECT_EQ(dense.interconnect.requests_injected,
+            event.interconnect.requests_injected);
+  EXPECT_EQ(dense.interconnect.requests_delivered,
+            event.interconnect.requests_delivered);
+  EXPECT_EQ(dense.interconnect.responses_injected,
+            event.interconnect.responses_injected);
+  EXPECT_EQ(dense.interconnect.responses_delivered,
+            event.interconnect.responses_delivered);
+  EXPECT_EQ(dense.interconnect.arbitration_wait_cycles,
+            event.interconnect.arbitration_wait_cycles);
+
+  EXPECT_EQ(dense.l2_resident_lines, event.l2_resident_lines);
+  EXPECT_DOUBLE_EQ(dense.l1d_miss_rate, event.l1d_miss_rate);
+  EXPECT_DOUBLE_EQ(dense.l1i_miss_rate, event.l1i_miss_rate);
+
+  for (power::Component c :
+       {power::Component::kCore, power::Component::kL1, power::Component::kL2,
+        power::Component::kInterconnect, power::Component::kDram}) {
+    EXPECT_DOUBLE_EQ(dense.energy.dynamic_pj(c), event.energy.dynamic_pj(c))
+        << power::component_name(c);
+    EXPECT_DOUBLE_EQ(dense.energy.static_pj(c), event.energy.static_pj(c))
+        << power::component_name(c);
+  }
+  EXPECT_DOUBLE_EQ(dense.edp_pj_s, event.edp_pj_s);
+  EXPECT_DOUBLE_EQ(dense.avg_power_w, event.avg_power_w);
+
+  ASSERT_EQ(dense.cores.size(), event.cores.size());
+  for (std::size_t i = 0; i < dense.cores.size(); ++i) {
+    EXPECT_EQ(dense.cores[i].instructions, event.cores[i].instructions) << i;
+    EXPECT_EQ(dense.cores[i].busy_cycles, event.cores[i].busy_cycles) << i;
+    EXPECT_EQ(dense.cores[i].stall_cycles, event.cores[i].stall_cycles) << i;
+    EXPECT_EQ(dense.cores[i].spin_cycles, event.cores[i].spin_cycles) << i;
+    EXPECT_EQ(dense.cores[i].idle_cycles, event.cores[i].idle_cycles) << i;
+    EXPECT_EQ(dense.cores[i].l2_requests, event.cores[i].l2_requests) << i;
+    EXPECT_EQ(dense.cores[i].l1_writebacks, event.cores[i].l1_writebacks) << i;
+    EXPECT_EQ(dense.cores[i].ifetch_misses, event.cores[i].ifetch_misses) << i;
+    EXPECT_EQ(dense.cores[i].finish_cycle, event.cores[i].finish_cycle) << i;
+  }
+}
+
+void run_differential(const char* app, Fabric fabric,
+                      const core::PowerState& state, mem::DramPreset dram,
+                      double scale = 0.01) {
+  const SimResult dense =
+      Cluster(cfg_for(app, fabric, state, dram, SchedulerMode::kDenseTick, scale))
+          .run();
+  const SimResult event =
+      Cluster(cfg_for(app, fabric, state, dram, SchedulerMode::kEventDriven, scale))
+          .run();
+  expect_same_result(dense, event);
+}
+
+TEST(SchedulerDifferential, MotFullDdr3) {
+  run_differential("fft", Fabric::kMot, core::PowerState::full(),
+                   mem::DramPreset::kDdr3_200ns);
+}
+
+TEST(SchedulerDifferential, TrueMesh3dFullDdr3) {
+  run_differential("fft", Fabric::kTrueMesh3d, core::PowerState::full(),
+                   mem::DramPreset::kDdr3_200ns);
+}
+
+TEST(SchedulerDifferential, HybridBusMeshFullDdr3) {
+  run_differential("volrend", Fabric::kHybridBusMesh, core::PowerState::full(),
+                   mem::DramPreset::kDdr3_200ns);
+}
+
+TEST(SchedulerDifferential, HybridBusTreeFullDdr3) {
+  run_differential("radix", Fabric::kHybridBusTree, core::PowerState::full(),
+                   mem::DramPreset::kDdr3_200ns);
+}
+
+TEST(SchedulerDifferential, MotGatedPc4Mb8) {
+  run_differential("cholesky", Fabric::kMot, core::PowerState::pc4_mb8(),
+                   mem::DramPreset::kDdr3_200ns);
+}
+
+TEST(SchedulerDifferential, MotGatedPc16Mb8FastDram) {
+  run_differential("fmm", Fabric::kMot, core::PowerState::pc16_mb8(),
+                   mem::DramPreset::kWeis3d_42ns);
+}
+
+TEST(SchedulerDifferential, MotGatedPc4Mb32WideIo) {
+  run_differential("ocean_contiguous", Fabric::kMot, core::PowerState::pc4_mb32(),
+                   mem::DramPreset::kWideIo_63ns);
+}
+
+TEST(SchedulerDifferential, ColdInstructionCachesExerciseIFetchPath) {
+  ClusterConfig dense = cfg_for("fft", Fabric::kMot, core::PowerState::full(),
+                                mem::DramPreset::kDdr3_200ns,
+                                SchedulerMode::kDenseTick);
+  dense.warm_instruction_caches = false;
+  ClusterConfig event = dense;
+  event.scheduler = SchedulerMode::kEventDriven;
+  expect_same_result(Cluster(dense).run(), Cluster(event).run());
+}
+
+TEST(SchedulerDifferential, EventModeIsTheDefault) {
+  EXPECT_EQ(ClusterConfig{}.scheduler, SchedulerMode::kEventDriven);
+  EXPECT_STREQ(scheduler_name(SchedulerMode::kEventDriven), "event");
+  EXPECT_STREQ(scheduler_name(SchedulerMode::kDenseTick), "dense");
+}
+
+}  // namespace
+}  // namespace mot3d::cluster

@@ -1,0 +1,135 @@
+// SweepRunner: determinism under parallelism.  The same sweep executed at
+// --threads=1 and --threads=4 must yield byte-identical ordered results,
+// and task exceptions must surface deterministically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+
+#include "sim/perf_report.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace mot3d::sim {
+namespace {
+
+std::vector<SweepRunner::Task> fig6_style_tasks() {
+  using cluster::Fabric;
+  std::vector<SweepRunner::Task> tasks;
+  for (const char* app : {"fft", "volrend"}) {
+    for (Fabric fabric : {Fabric::kMot, Fabric::kTrueMesh3d,
+                          Fabric::kHybridBusMesh, Fabric::kHybridBusTree}) {
+      tasks.push_back([app, fabric] {
+        return cluster::Cluster(cluster::make_paper_config(
+                                    workload::profile_by_name(app), fabric,
+                                    core::PowerState::full(),
+                                    mem::DramPreset::kDdr3_200ns, 0.005, 42))
+            .run();
+      });
+    }
+  }
+  return tasks;
+}
+
+TEST(SweepRunner, SingleVsFourThreadsIdenticalOrderedResults) {
+  SweepRunner serial(1);
+  SweepRunner parallel(4);
+  const auto a = serial.run(fig6_style_tasks());
+  const auto b = parallel.run(fig6_style_tasks());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].app, b[i].app) << i;
+    EXPECT_EQ(a[i].fabric, b[i].fabric) << i;
+    EXPECT_EQ(a[i].cycles, b[i].cycles) << i;
+    EXPECT_EQ(a[i].instructions, b[i].instructions) << i;
+    EXPECT_EQ(a[i].l2.hits, b[i].l2.hits) << i;
+    EXPECT_EQ(a[i].l2.misses, b[i].l2.misses) << i;
+    EXPECT_EQ(a[i].dram.reads, b[i].dram.reads) << i;
+    EXPECT_DOUBLE_EQ(a[i].energy.edp_energy_pj(), b[i].energy.edp_energy_pj()) << i;
+    EXPECT_DOUBLE_EQ(a[i].edp_pj_s, b[i].edp_pj_s) << i;
+  }
+}
+
+TEST(SweepRunner, ResultsArriveInTaskOrder) {
+  SweepRunner runner(4);
+  const auto results = runner.run(fig6_style_tasks());
+  ASSERT_EQ(results.size(), 8u);
+  EXPECT_EQ(results[0].app, "fft");
+  EXPECT_EQ(results[0].fabric, "3-D MoT");
+  EXPECT_EQ(results[3].fabric, "3-D Hybrid Bus-Tree");
+  EXPECT_EQ(results[4].app, "volrend");
+}
+
+TEST(SweepRunner, TelemetryAccumulates) {
+  SweepRunner runner(2);
+  const auto results = runner.run(fig6_style_tasks());
+  const PerfTelemetry& t = runner.telemetry();
+  EXPECT_EQ(t.threads, 2u);
+  EXPECT_EQ(t.runs, results.size());
+  std::uint64_t cycles = 0;
+  for (const auto& r : results) cycles += r.cycles;
+  EXPECT_EQ(t.simulated_cycles, cycles);
+  EXPECT_GT(t.wall_seconds, 0.0);
+  EXPECT_GT(t.cycles_per_second(), 0.0);
+}
+
+TEST(SweepRunner, ParallelForCoversEveryIndexOnce) {
+  SweepRunner runner(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  runner.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(SweepRunner, FirstExceptionByIndexPropagates) {
+  SweepRunner runner(4);
+  EXPECT_THROW(
+      runner.parallel_for(16,
+                          [](std::size_t i) {
+                            if (i % 2 == 1) {
+                              throw std::runtime_error("task " + std::to_string(i));
+                            }
+                          }),
+      std::runtime_error);
+  try {
+    runner.parallel_for(16, [](std::size_t i) {
+      if (i >= 3) throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");
+  }
+}
+
+TEST(SweepRunner, ZeroThreadsResolvesToHardware) {
+  EXPECT_GE(SweepRunner(0).threads(), 1u);
+  EXPECT_EQ(SweepRunner(3).threads(), 3u);
+}
+
+TEST(PerfReport, JsonObjectSerialisesDeterministically) {
+  JsonObject o;
+  o.set("bench", "fig6a").set("runs", std::uint64_t{32}).set("scale", 0.25);
+  EXPECT_EQ(o.str(), "{\"bench\": \"fig6a\", \"runs\": 32, \"scale\": 0.25}");
+}
+
+TEST(PerfReport, WritesMergedReport) {
+  PerfTelemetry t;
+  t.threads = 2;
+  t.runs = 4;
+  t.simulated_cycles = 1000;
+  t.wall_seconds = 0.5;
+  JsonObject extra;
+  extra.set("scale", 0.1);
+  const std::string path = ::testing::TempDir() + "mot3d_perf_report.json";
+  ASSERT_TRUE(write_perf_report(path, "unit", t, extra));
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"bench\": \"unit\", \"threads\": 2, \"runs\": 4, "
+            "\"simulated_cycles\": 1000, \"wall_seconds\": 0.5, "
+            "\"cycles_per_second\": 2000, \"scale\": 0.1}");
+}
+
+}  // namespace
+}  // namespace mot3d::sim
