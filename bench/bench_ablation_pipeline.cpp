@@ -3,76 +3,10 @@
 // Sweeps synthetic load on the MoT transport: per-bank round-robin
 // arbitration keeps latency near the pipeline depth until banks saturate.
 // Also reports the latency of each power state under uniform traffic.
-#include <iostream>
-#include <vector>
-
-#include "cacti/sram_model.hpp"
-#include "common/rng.hpp"
-#include "common/table.hpp"
-#include "core/mot_interconnect.hpp"
+//
+// Thin wrapper over the registered "ablation_pipeline" scenario.
 #include "harness.hpp"
-#include "sim/sweep_runner.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mot3d;
-  const bench::Options opt = bench::parse_options(argc, argv);
-
-  const phys::TechnologyParams tech = phys::default_technology();
-  const phys::FloorplanParams fp;
-  const cacti::SramBankConfig bank;
-  const core::MotTimingModel model(tech, fp, bank);
-
-  std::cout << "### Ablation: MoT latency vs offered load (uniform traffic)\n";
-
-  TextTable tbl("request latency (inject -> bank) vs per-core injection rate");
-  tbl.set_header({"state", "rate", "mean (cy)", "p95 (cy)", "arb wait/req (cy)"});
-
-  // Each (state, rate) combination drives its own MotInterconnect instance;
-  // the combinations share only the immutable timing model, so they fan out
-  // across the --threads pool with per-index result rows.
-  struct Combo {
-    const core::PowerState* state;
-    double rate;
-  };
-  std::vector<Combo> combos;
-  for (const core::PowerState& s : core::PowerState::paper_states()) {
-    for (double rate : {0.02, 0.05, 0.10, 0.20}) combos.push_back({&s, rate});
-  }
-  std::vector<std::vector<std::string>> rows(combos.size());
-
-  sim::SweepRunner runner(opt.threads);
-  runner.parallel_for(combos.size(), [&](std::size_t i) {
-    const core::PowerState& s = *combos[i].state;
-    const double rate = combos[i].rate;
-    core::MotInterconnect icn(model, s);
-    Histogram lat(1, 128);
-    icn.set_request_sink([&lat](const MemRequest& r, Cycle t) {
-      lat.add(t - r.issue_cycle);
-    });
-    icn.set_response_sink([](const MemResponse&, Cycle) {});
-    // Cores re-inject after delivery with probability `rate` per cycle.
-    Rng rng(7);
-    const Cycle horizon = 20000;
-    std::uint64_t seq = 1;
-    for (Cycle t = 0; t < horizon; ++t) {
-      for (std::size_t th = 0; th < s.active_cores(); ++th) {
-        const CoreId c = s.core_of_thread(th);
-        if (rng.next_double() < rate) {
-          MemRequest r{.id = seq++, .core = c,
-                       .bank = static_cast<BankId>(rng.next_below(s.total_banks())),
-                       .addr = 0, .is_write = false, .issue_cycle = t};
-          (void)icn.try_inject_request(r, t);  // dropped if core busy
-        }
-      }
-      icn.tick(t);
-    }
-    const double waits =
-        static_cast<double>(icn.stats().arbitration_wait_cycles) /
-        static_cast<double>(std::max<std::uint64_t>(1, icn.stats().requests_delivered));
-    rows[i] = {s.name(), fmt_fixed(rate, 2), fmt_fixed(lat.mean(), 1),
-               std::to_string(lat.quantile(0.95)), fmt_fixed(waits, 2)};
-  });
-  for (const auto& row : rows) tbl.add_row(row);
-  tbl.print(std::cout);
-  return 0;
+  return mot3d::bench::scenario_main("ablation_pipeline", argc, argv);
 }

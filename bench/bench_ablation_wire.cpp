@@ -3,42 +3,10 @@
 // Quantifies the design choice behind the paper's "inverters placed along
 // the on-chip wires": how the delay of the MoT channel wires depends on
 // repeater spacing, and what gating those repeaters saves in leakage.
-#include <iostream>
-
-#include "common/table.hpp"
+//
+// Thin wrapper over the registered "ablation_wire" scenario.
 #include "harness.hpp"
-#include "phys/technology.hpp"
-#include "phys/wire.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mot3d;
-  // Analytic bench (no simulation): options are parsed only so that typoed
-  // flags fail loudly instead of being silently ignored.
-  (void)bench::parse_options(argc, argv);
-
-  phys::TechnologyParams tech = phys::default_technology();
-  std::cout << "### Ablation: repeater insertion on the MoT channel wires\n";
-
-  TextTable tbl("delay of 1/2/4 mm wires vs repeater spacing");
-  tbl.set_header({"spacing (mm)", "1mm (ns)", "2mm (ns)", "4mm (ns)",
-                  "repeaters on 4mm", "leak/bit on 4mm (uW)"});
-  for (double spacing : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    tech.repeater_spacing_mm = spacing;
-    const phys::WireModel w(tech);
-    tbl.add_row({fmt_fixed(spacing, 2), fmt_fixed(w.repeated_delay_ns(1.0), 3),
-                 fmt_fixed(w.repeated_delay_ns(2.0), 3),
-                 fmt_fixed(w.repeated_delay_ns(4.0), 3),
-                 std::to_string(w.repeater_count(4.0)),
-                 fmt_fixed(w.leakage_uw_per_bit(4.0), 2)});
-  }
-  tbl.print(std::cout);
-
-  tech = phys::default_technology();
-  const phys::WireModel w(tech);
-  std::cout << "unrepeated 4mm Elmore delay: " << fmt_fixed(w.unrepeated_delay_ns(4.0), 3)
-            << " ns; design point (1mm spacing): "
-            << fmt_fixed(w.repeated_delay_ns(4.0), 3)
-            << " ns; delay-optimal spacing: " << fmt_fixed(w.optimal_spacing_mm(), 3)
-            << " mm\n";
-  return 0;
+  return mot3d::bench::scenario_main("ablation_wire", argc, argv);
 }

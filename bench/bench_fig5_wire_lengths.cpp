@@ -4,52 +4,10 @@
 // core-to-bank wire spans ~x+y (die ~5 mm x 5 mm, z ~40 µm); gating to
 // 4 cores / 8 banks shrinks the active spans to about a quarter, which is
 // where the latency reduction of Table I comes from.
-#include <iostream>
-
-#include "common/table.hpp"
-#include "core/mot_timing.hpp"
-#include "core/power_state.hpp"
+//
+// Thin wrapper over the registered "fig5_wire_lengths" scenario.
 #include "harness.hpp"
-#include "phys/geometry.hpp"
-#include "phys/technology.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mot3d;
-  // Analytic bench (no simulation): options are parsed only so that typoed
-  // flags fail loudly instead of being silently ignored.
-  (void)bench::parse_options(argc, argv);
-
-  const phys::TechnologyParams tech = phys::default_technology();
-  const phys::FloorplanParams fp;
-  const phys::ClusterGeometry geo(fp, tech);
-  const cacti::SramBankConfig bank;
-  const core::MotTimingModel model(tech, fp, bank);
-
-  std::cout << "### Fig. 5: wire lengths per power state (die " << fp.die_x_mm
-            << " x " << fp.die_y_mm << " mm, tier gap "
-            << fp.tier_gap_mm * 1000.0 << " um)\n";
-
-  TextTable tbl("active spans, worst-case link and path delay per state");
-  tbl.set_header({"state", "bank field (mm)", "core field (mm)",
-                  "longest link (mm)", "request path (mm)", "request delay (ns)",
-                  "powered repeaters", "powered switches"});
-  for (const core::PowerState& s : core::PowerState::paper_states()) {
-    const core::MotStateTiming t = model.timing(s);
-    tbl.add_row({s.name(),
-                 fmt_fixed(geo.bank_field_span_mm(s.active_banks()), 2),
-                 fmt_fixed(geo.core_field_span_mm(s.active_cores()), 2),
-                 fmt_fixed(geo.longest_link_mm(s.active_cores(), s.active_banks()), 2),
-                 fmt_fixed(geo.request_path_mm(s.active_cores(), s.active_banks()), 2),
-                 fmt_fixed(t.request_delay_ns, 2),
-                 std::to_string(model.powered_repeaters(s)),
-                 std::to_string(model.powered_switches(s))});
-  }
-  tbl.print(std::cout);
-
-  const double full = geo.longest_link_mm(16, 32);
-  const double gated = geo.longest_link_mm(4, 8);
-  std::cout << "worst-case wire shrink Full -> PC4-MB8: " << fmt_fixed(full, 2)
-            << " mm -> " << fmt_fixed(gated, 2) << " mm ("
-            << fmt_fixed(full / gated, 1) << "x)\n";
-  return 0;
+  return mot3d::bench::scenario_main("fig5_wire_lengths", argc, argv);
 }

@@ -5,59 +5,10 @@
 // Expected shape (paper): MoT lowest; Bus-Mesh beats True Mesh (the
 // vertical bus removes hop-by-hop z traversal); Bus-Tree worst (its four
 // shared vertical buses saturate).
-#include <iostream>
-
+//
+// Thin wrapper over the registered "fig6a_l2_latency" scenario.
 #include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mot3d;
-  using namespace mot3d::bench;
-  const Options opt = parse_options(argc, argv, 0.25);
-
-  const std::vector<cluster::Fabric> fabrics = {
-      cluster::Fabric::kTrueMesh3d, cluster::Fabric::kHybridBusMesh,
-      cluster::Fabric::kHybridBusTree, cluster::Fabric::kMot};
-
-  print_header("Fig. 6(a): L2 cache access latency per interconnect", opt);
-  TextTable tbl("L2 access latency in cycles (L2-hit mean / overall mean / p95)");
-  std::vector<std::string> header = {"benchmark"};
-  for (auto f : fabrics) header.push_back(cluster::fabric_name(f));
-  tbl.set_header(header);
-
-  Sweep sweep(opt, "fig6a_l2_latency");
-  for (const std::string& app : workload::splash2_names()) {
-    for (cluster::Fabric f : fabrics) {
-      sweep.add(app, f, core::PowerState::full(), mem::DramPreset::kDdr3_200ns);
-    }
-  }
-  sweep.run();
-
-  // Consume in queue order: apps outer, fabrics inner, same as above.
-  std::vector<std::vector<double>> hit_means(fabrics.size());
-  std::size_t k = 0;
-  for (const std::string& app : workload::splash2_names()) {
-    std::vector<std::string> row = {app};
-    for (std::size_t fi = 0; fi < fabrics.size(); ++fi) {
-      const cluster::SimResult& r = sweep[k++];
-      hit_means[fi].push_back(r.l2_hit_latency.mean());
-      row.push_back(fmt_fixed(r.l2_hit_latency.mean(), 1) + " / " +
-                    fmt_fixed(r.l2_latency.mean(), 1) + " / " +
-                    std::to_string(r.l2_latency.quantile(0.95)));
-    }
-    tbl.add_row(row);
-  }
-  std::vector<std::string> avg_row = {"AVERAGE (hit)"};
-  for (auto& v : hit_means) avg_row.push_back(fmt_fixed(average(v), 1));
-  tbl.add_row(avg_row);
-  tbl.print(std::cout);
-
-  std::cout << "shape check: MoT < Bus-Mesh < True Mesh < Bus-Tree on average: "
-            << (average(hit_means[3]) < average(hit_means[1]) &&
-                        average(hit_means[1]) < average(hit_means[0]) &&
-                        average(hit_means[0]) < average(hit_means[2])
-                    ? "PASS"
-                    : "CHECK")
-            << "\n";
-  sweep.report();
-  return 0;
+  return mot3d::bench::scenario_main("fig6a_l2_latency", argc, argv);
 }

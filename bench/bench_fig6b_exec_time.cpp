@@ -3,62 +3,10 @@
 // Paper: "3-D MoT reduces the execution time by 13.01%, 11.16%, and 13.34%
 // on average, compared with 3-D Mesh, 3-D Hybrid Bus-Mesh, and 3-D Hybrid
 // Bus-Tree, respectively."
-#include <iostream>
-
+//
+// Thin wrapper over the registered "fig6b_exec_time" scenario.
 #include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mot3d;
-  using namespace mot3d::bench;
-  const Options opt = parse_options(argc, argv, 0.25);
-
-  const std::vector<cluster::Fabric> fabrics = {
-      cluster::Fabric::kTrueMesh3d, cluster::Fabric::kHybridBusMesh,
-      cluster::Fabric::kHybridBusTree, cluster::Fabric::kMot};
-
-  print_header("Fig. 6(b): execution time per interconnect (DRAM 200 ns)", opt);
-  TextTable tbl("execution time in kilo-cycles (normalised to True 3-D Mesh)");
-  std::vector<std::string> header = {"benchmark"};
-  for (auto f : fabrics) header.push_back(cluster::fabric_name(f));
-  tbl.set_header(header);
-
-  Sweep sweep(opt, "fig6b_exec_time");
-  for (const std::string& app : workload::splash2_names()) {
-    for (cluster::Fabric f : fabrics) {
-      sweep.add(app, f, core::PowerState::full(), mem::DramPreset::kDdr3_200ns);
-    }
-  }
-  sweep.run();
-
-  // reductions[i] = per-app reduction of MoT vs fabric i (i in 0..2).
-  // Consume in queue order: apps outer, fabrics inner, same as above.
-  std::vector<std::vector<double>> reductions(3);
-  std::size_t k = 0;
-  for (const std::string& app : workload::splash2_names()) {
-    std::vector<double> cycles;
-    for (std::size_t fi = 0; fi < fabrics.size(); ++fi) {
-      cycles.push_back(static_cast<double>(sweep[k++].cycles));
-    }
-    std::vector<std::string> row = {app};
-    for (double c : cycles) {
-      row.push_back(fmt_fixed(c / 1000.0, 0) + " (" + fmt_fixed(c / cycles[0], 2) +
-                    "x)");
-    }
-    tbl.add_row(row);
-    for (int i = 0; i < 3; ++i) reductions[i].push_back(reduction(cycles[i], cycles[3]));
-  }
-  tbl.print(std::cout);
-
-  const char* base_names[] = {"True 3-D Mesh", "3-D Hybrid Bus-Mesh",
-                              "3-D Hybrid Bus-Tree"};
-  const double paper[] = {0.1301, 0.1116, 0.1334};
-  TextTable s("MoT execution-time reduction vs packet-switched baselines");
-  s.set_header({"baseline", "measured avg", "paper avg"});
-  for (int i = 0; i < 3; ++i) {
-    s.add_row({base_names[i], fmt_percent(average(reductions[i])),
-               fmt_percent(paper[i])});
-  }
-  s.print(std::cout);
-  sweep.report();
-  return 0;
+  return mot3d::bench::scenario_main("fig6b_exec_time", argc, argv);
 }

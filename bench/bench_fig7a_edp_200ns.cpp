@@ -5,13 +5,10 @@
 // on average (up to 66 %) on the limited-scalability group; PC4-MB8 by
 // 52 % (up to 77 %); PC16-MB8 by 13 % (up to 18 %) on the small-working-
 // set group.
-#include "edp_experiment.hpp"
+//
+// Thin wrapper over the registered "fig7a_edp_200ns" scenario.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mot3d::bench;
-  const Options opt = parse_options(argc, argv);
-  const EdpSeries s =
-      run_edp_experiment(mot3d::mem::DramPreset::kDdr3_200ns, opt, "Fig. 7(a)");
-  print_fig7a_paper_comparison(s);
-  return 0;
+  return mot3d::bench::scenario_main("fig7a_edp_200ns", argc, argv);
 }

@@ -6,89 +6,10 @@
 //  * scalable apps (fmm/radix/ocean/water) gain up to 69 % (avg 64 %);
 //  * PC16-MB8 costs +4.7 % avg (max 8.6 %) on the small-WS five and
 //    +24 % avg (max 31 %) on cholesky/radix/ocean.
-#include <iostream>
-#include <map>
-
+//
+// Thin wrapper over the registered "fig7b_exec_time_states" scenario.
 #include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mot3d;
-  using namespace mot3d::bench;
-  const Options opt = parse_options(argc, argv);
-  const auto& states = core::PowerState::paper_states();
-
-  print_header("Fig. 7(b): execution time per power state (DRAM 200 ns)", opt);
-  TextTable tbl("execution time in kilo-cycles (normalised to Full in parens)");
-  std::vector<std::string> header = {"benchmark"};
-  for (const auto& s : states) header.push_back(s.name());
-  tbl.set_header(header);
-
-  Sweep sweep(opt, "fig7b_exec_time_states");
-  std::map<std::string, std::map<std::string, std::size_t>> idx;
-  for (const std::string& app : workload::splash2_names()) {
-    for (const core::PowerState& s : states) {
-      idx[app][s.name()] =
-          sweep.add(app, cluster::Fabric::kMot, s, mem::DramPreset::kDdr3_200ns);
-    }
-  }
-  sweep.run();
-
-  std::map<std::string, std::map<std::string, double>> cycles;
-  for (const std::string& app : workload::splash2_names()) {
-    std::vector<std::string> row = {app};
-    double base = 0.0;
-    for (const core::PowerState& s : states) {
-      const cluster::SimResult& r = sweep[idx[app][s.name()]];
-      cycles[s.name()][app] = static_cast<double>(r.cycles);
-      if (s.name() == "Full") base = static_cast<double>(r.cycles);
-      row.push_back(fmt_fixed(r.cycles / 1000.0, 0) + " (" +
-                    fmt_fixed(static_cast<double>(r.cycles) / base, 2) + ")");
-    }
-    tbl.add_row(row);
-  }
-  tbl.print(std::cout);
-
-  const std::vector<std::string> limited = {"cholesky", "fft", "volrend", "raytrace"};
-  const std::vector<std::string> scalable = {"fmm", "radix", "ocean_contiguous",
-                                             "water_nsquared"};
-  const std::vector<std::string> small_ws = {"fft", "fmm", "volrend", "raytrace",
-                                             "water_nsquared"};
-  const std::vector<std::string> large_ws = {"cholesky", "radix", "ocean_contiguous"};
-
-  // 4 -> 16 core speedup: compare PC4-MB32 (4 cores) against Full (16).
-  auto core_gain = [&](const std::vector<std::string>& apps) {
-    std::vector<double> g;
-    for (const auto& a : apps) {
-      g.push_back(reduction(cycles["PC4-MB32"][a], cycles["Full"][a]));
-    }
-    return g;
-  };
-  // PC16-MB8 execution-time increase vs Full.
-  auto mb8_cost = [&](const std::vector<std::string>& apps) {
-    std::vector<double> g;
-    for (const auto& a : apps) {
-      g.push_back(cycles["PC16-MB8"][a] / cycles["Full"][a] - 1.0);
-    }
-    return g;
-  };
-
-  const auto lim = core_gain(limited);
-  const auto sca = core_gain(scalable);
-  const auto cost_small = mb8_cost(small_ws);
-  const auto cost_large = mb8_cost(large_ws);
-
-  TextTable s("Fig. 7(b) paper-claim comparison");
-  s.set_header({"claim", "measured avg", "measured max", "paper avg", "paper max"});
-  s.add_row({"4->16 cores gain, limited apps", fmt_percent(average(lim)),
-             fmt_percent(max_of(lim)), "19%", "33%"});
-  s.add_row({"4->16 cores gain, scalable apps", fmt_percent(average(sca)),
-             fmt_percent(max_of(sca)), "64%", "69%"});
-  s.add_row({"PC16-MB8 exec increase, small-WS apps", fmt_percent(average(cost_small)),
-             fmt_percent(max_of(cost_small)), "4.7%", "8.6%"});
-  s.add_row({"PC16-MB8 exec increase, cholesky/radix/ocean",
-             fmt_percent(average(cost_large)), fmt_percent(max_of(cost_large)), "24%",
-             "31%"});
-  s.print(std::cout);
-  sweep.report();
-  return 0;
+  return mot3d::bench::scenario_main("fig7b_exec_time_states", argc, argv);
 }

@@ -4,11 +4,10 @@
 // Paper: "power efficiency resulting from power-gating of cache banks
 // increases as the DRAM access latency decreases ... PC16-MB8 reduces EDP
 // for more benchmark programs when DRAM access latency is 63ns and 42ns."
-#include "edp_experiment.hpp"
+//
+// Thin wrapper over the registered "fig8a_edp_63ns" scenario.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mot3d::bench;
-  const Options opt = parse_options(argc, argv);
-  run_edp_experiment(mot3d::mem::DramPreset::kWideIo_63ns, opt, "Fig. 8(a)");
-  return 0;
+  return mot3d::bench::scenario_main("fig8a_edp_63ns", argc, argv);
 }

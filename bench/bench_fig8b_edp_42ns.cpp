@@ -1,11 +1,10 @@
 // Fig. 8(b) — EDP of the four power states with the on-chip 3-D DRAM of
 // Weis et al. [16] (42 ns): the fastest miss path, hence the strongest
 // case for gating L2 banks.
-#include "edp_experiment.hpp"
+//
+// Thin wrapper over the registered "fig8b_edp_42ns" scenario.
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mot3d::bench;
-  const Options opt = parse_options(argc, argv);
-  run_edp_experiment(mot3d::mem::DramPreset::kWeis3d_42ns, opt, "Fig. 8(b)");
-  return 0;
+  return mot3d::bench::scenario_main("fig8b_edp_42ns", argc, argv);
 }

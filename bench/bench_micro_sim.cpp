@@ -5,234 +5,15 @@
 // self-timed harness (no external benchmark dependency).
 //
 // Part 2 is the headline perf experiment of the event-driven scheduler:
-// the full Fig. 6 sweep (8 SPLASH-2 apps x 4 fabrics, DRAM 200 ns) run
-// twice — dense-tick serial baseline vs event-driven scheduler across the
-// --threads pool — with a differential check that both produce identical
-// modeled cycles.  The speedup and both wall times land in the --json
-// perf report so the trajectory (BENCH_*.json) tracks them PR over PR.
-#include <chrono>
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "cacti/sram_model.hpp"
-#include "common/rng.hpp"
-#include "core/mot_interconnect.hpp"
+// the registered Fig. 6 sweep run twice — dense-tick serial baseline vs
+// event-driven scheduler — with a differential check that both produce
+// identical modeled metrics (the same canonical JSON the golden suite
+// pins).  The speedup and both wall times land in the --json perf report
+// so the trajectory (BENCH_*.json) tracks them PR over PR.
+//
+// Thin wrapper over the registered "micro_sim" scenario.
 #include "harness.hpp"
-#include "mem/cache.hpp"
-#include "noc/noc_interconnect.hpp"
-#include "workload/synthetic_trace.hpp"
-
-namespace {
-
-using namespace mot3d;
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-// ---- Part 1: hot-path microbenchmarks --------------------------------------
-
-template <typename Fn>
-void run_micro(TextTable& tbl, const std::string& name, std::uint64_t iters,
-               Fn&& op) {
-  const auto t0 = std::chrono::steady_clock::now();
-  for (std::uint64_t i = 0; i < iters; ++i) op(i);
-  const double wall = seconds_since(t0);
-  tbl.add_row({name, std::to_string(iters), fmt_fixed(wall * 1e9 / iters, 1),
-               fmt_fixed(iters / wall / 1e6, 2)});
-}
-
-void run_microbenchmarks() {
-  std::cout << "### Microbenchmarks: simulator hot paths\n";
-  TextTable tbl("self-timed; single thread");
-  tbl.set_header({"benchmark", "iterations", "ns/op", "Mops/s"});
-
-  {
-    mem::Cache cache(mem::CacheConfig{.capacity_bytes = 64 * 1024,
-                                      .line_bytes = 32,
-                                      .associativity = 8,
-                                      .index_shift = 0});
-    for (Addr a = 0; a < 64 * 1024; a += 32) cache.insert(a, false);
-    Rng rng(1);
-    std::uint64_t hits = 0;
-    run_micro(tbl, "cache lookup (hit)", 2'000'000, [&](std::uint64_t) {
-      hits += cache.lookup(rng.next_below(64 * 1024), false).hit ? 1 : 0;
-    });
-    if (hits == 0) std::cout << "";  // defeat dead-code elimination
-  }
-
-  const phys::TechnologyParams tech = phys::default_technology();
-  const phys::FloorplanParams fp;
-  const cacti::SramBankConfig bank;
-  const core::MotTimingModel model(tech, fp, bank);
-
-  {
-    core::MotInterconnect icn(model, core::PowerState::full());
-    icn.set_request_sink([](const MemRequest&, Cycle) {});
-    icn.set_response_sink([](const MemResponse&, Cycle) {});
-    Rng rng(2);
-    Cycle t = 0;
-    std::uint64_t id = 1;
-    run_micro(tbl, "MoT tick (uniform load)", 500'000, [&](std::uint64_t) {
-      for (CoreId c = 0; c < 16; ++c) {
-        if (rng.next_double() < 0.1) {
-          MemRequest r{.id = id++, .core = c,
-                       .bank = static_cast<BankId>(rng.next_below(32)),
-                       .addr = 0, .is_write = false, .issue_cycle = t};
-          (void)icn.try_inject_request(r, t);
-        }
-      }
-      icn.tick(t++);
-    });
-  }
-
-  {
-    noc::NocConfig cfg;
-    const power::InterconnectPowerModel pm{phys::WireModel(tech)};
-    noc::NocInterconnect icn(noc::NocTopology::kTrueMesh3d, cfg, pm);
-    icn.set_request_sink([](const MemRequest&, Cycle) {});
-    icn.set_response_sink([](const MemResponse&, Cycle) {});
-    Rng rng(3);
-    Cycle t = 0;
-    std::uint64_t id = 1;
-    run_micro(tbl, "NoC tick (true 3-D mesh)", 200'000, [&](std::uint64_t) {
-      for (CoreId c = 0; c < 16; ++c) {
-        if (rng.next_double() < 0.05) {
-          MemRequest r{.id = id++, .core = c,
-                       .bank = static_cast<BankId>(rng.next_below(32)),
-                       .addr = 0, .is_write = false, .issue_cycle = t};
-          (void)icn.try_inject_request(r, t);
-        }
-      }
-      icn.tick(t++);
-    });
-  }
-
-  {
-    const workload::AppProfile& app = workload::profile_by_name("fft");
-    workload::Workload w(app, 16, 1.0, 5);
-    auto trace = w.make_trace(3);
-    std::uint64_t sink = 0;
-    run_micro(tbl, "trace generation", 2'000'000, [&](std::uint64_t) {
-      sink += static_cast<std::uint64_t>(trace->next().kind);
-    });
-    if (sink == 0) std::cout << "";
-  }
-
-  {
-    core::ArbitrationTree at(16);
-    at.configure(core::PowerState::full());
-    std::vector<bool> req(16, true);
-    std::uint64_t sink = 0;
-    run_micro(tbl, "arbitration tree (16)", 2'000'000, [&](std::uint64_t) {
-      sink += at.arbitrate(req).value_or(0);
-    });
-    if (sink == 0) std::cout << "";
-  }
-
-  tbl.print(std::cout);
-}
-
-// ---- Part 2: Fig. 6 sweep, dense serial vs event parallel ------------------
-
-std::vector<std::size_t> queue_fig6(bench::Sweep& sweep) {
-  const std::vector<cluster::Fabric> fabrics = {
-      cluster::Fabric::kTrueMesh3d, cluster::Fabric::kHybridBusMesh,
-      cluster::Fabric::kHybridBusTree, cluster::Fabric::kMot};
-  std::vector<std::size_t> idx;
-  for (const std::string& app : workload::splash2_names()) {
-    for (cluster::Fabric f : fabrics) {
-      idx.push_back(sweep.add(app, f, core::PowerState::full(),
-                              mem::DramPreset::kDdr3_200ns));
-    }
-  }
-  return idx;
-}
-
-int run_fig6_speedup(const bench::Options& opt) {
-  bench::print_header(
-      "Scheduler speedup: Fig. 6 sweep, dense serial vs event-driven", opt);
-
-  // Both speedup legs run serial so the recorded scheduler gain is
-  // machine-independent; the thread pool's additional parallel gain is
-  // measured (and reported) separately below.
-  bench::Options dense_opt = opt;
-  dense_opt.scheduler = cluster::SchedulerMode::kDenseTick;
-  dense_opt.threads = 1;
-  bench::Sweep dense(dense_opt, "micro_sim_dense");
-  const auto dense_idx = queue_fig6(dense);
-  dense.run();
-
-  bench::Options event_opt = opt;
-  event_opt.scheduler = cluster::SchedulerMode::kEventDriven;
-  event_opt.threads = 1;
-  bench::Sweep event(event_opt, "micro_sim");
-  const auto event_idx = queue_fig6(event);
-  event.run();
-
-  bool identical = true;
-  for (std::size_t i = 0; i < dense_idx.size(); ++i) {
-    const cluster::SimResult& d = dense[dense_idx[i]];
-    const cluster::SimResult& e = event[event_idx[i]];
-    if (d.cycles != e.cycles || d.instructions != e.instructions ||
-        d.energy.edp_energy_pj() != e.energy.edp_energy_pj()) {
-      identical = false;
-      std::cout << "MISMATCH at " << d.app << "/" << d.fabric << ": dense "
-                << d.cycles << " vs event " << e.cycles << " cycles\n";
-    }
-  }
-
-  const double dense_wall = dense.telemetry().wall_seconds;
-  const double event_wall = event.telemetry().wall_seconds;
-  const double speedup = event_wall > 0.0 ? dense_wall / event_wall : 0.0;
-
-  TextTable tbl("Fig. 6 sweep (" + std::to_string(dense_idx.size()) + " runs)");
-  tbl.set_header({"configuration", "wall (s)", "Mcycles/s"});
-  tbl.add_row({"dense tick, serial", fmt_fixed(dense_wall, 2),
-               fmt_fixed(dense.telemetry().cycles_per_second() / 1e6, 2)});
-  tbl.add_row({"event-driven, serial", fmt_fixed(event_wall, 2),
-               fmt_fixed(event.telemetry().cycles_per_second() / 1e6, 2)});
-
-  // Thread-pool gain on top of the scheduler, when a pool is available.
-  sim::JsonObject extra;
-  extra.set("dense_wall_seconds", dense_wall)
-      .set("event_wall_seconds", event_wall)
-      .set("speedup", speedup)
-      .set("results_identical", identical);
-  const unsigned pool = sim::SweepRunner::resolve_threads(opt.threads);
-  if (pool > 1) {
-    bench::Options parallel_opt = opt;
-    parallel_opt.scheduler = cluster::SchedulerMode::kEventDriven;
-    bench::Sweep parallel(parallel_opt, "micro_sim_parallel");
-    (void)queue_fig6(parallel);
-    parallel.run();
-    const double parallel_wall = parallel.telemetry().wall_seconds;
-    tbl.add_row({"event-driven, threads=" + std::to_string(pool),
-                 fmt_fixed(parallel_wall, 2),
-                 fmt_fixed(parallel.telemetry().cycles_per_second() / 1e6, 2)});
-    extra.set("parallel_threads", pool)
-        .set("parallel_wall_seconds", parallel_wall)
-        .set("combined_speedup",
-             parallel_wall > 0.0 ? dense_wall / parallel_wall : 0.0);
-  }
-  tbl.print(std::cout);
-
-  std::cout << "modeled results identical: " << (identical ? "PASS" : "FAIL")
-            << "\n"
-            << "scheduler wall-clock speedup (serial vs serial): "
-            << fmt_fixed(speedup, 2) << "x (target >= 3x: "
-            << (speedup >= 3.0 ? "PASS" : "CHECK") << ")\n";
-
-  event.report(extra);
-  return identical ? 0 : 1;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  const bench::Options opt = bench::parse_options(argc, argv, /*default_scale=*/0.05);
-  run_microbenchmarks();
-  return run_fig6_speedup(opt);
+  return mot3d::bench::scenario_main("micro_sim", argc, argv);
 }

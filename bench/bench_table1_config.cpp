@@ -3,67 +3,10 @@
 // Prints the cluster configuration exactly as the paper tabulates it, with
 // the L2 latencies *derived* from the MoT timing model (Elmore wires + TSV
 // + CACTI bank) rather than copied: the four rows must read 12/9/9/7.
-#include <iostream>
-
-#include "cacti/sram_model.hpp"
-#include "core/mot_timing.hpp"
-#include "core/power_state.hpp"
-#include "common/table.hpp"
+//
+// Thin wrapper over the registered "table1_config" scenario.
 #include "harness.hpp"
-#include "mem/dram.hpp"
-#include "phys/geometry.hpp"
-#include "phys/technology.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mot3d;
-  // Analytic bench (no simulation): options are parsed only so that typoed
-  // flags fail loudly instead of being silently ignored.
-  (void)bench::parse_options(argc, argv);
-
-  std::cout << "### Table I — architecture configurations\n";
-
-  TextTable core_tbl("Core / L1 / DRAM");
-  core_tbl.set_header({"Feature", "Description"});
-  core_tbl.add_row({"Core", "1GHz, 4 - 16 cores, in-order execution (trace-driven)"});
-  core_tbl.add_row({"L1 I/D cache",
-                    "Private, 4KB per core, 32B line, 4-way, LRU, 1 cycle"});
-  core_tbl.add_row({"L2 cache", "Shared, 32B line, 8-way, 64KB per bank"});
-  for (auto preset : {mem::DramPreset::kDdr3_200ns, mem::DramPreset::kWideIo_63ns,
-                      mem::DramPreset::kWeis3d_42ns}) {
-    core_tbl.add_row({"DRAM", std::string(mem::dram_preset_name(preset)) +
-                                  ", one controller, 2Gb, 4KB page"});
-  }
-  core_tbl.print(std::cout);
-
-  const phys::TechnologyParams tech = phys::default_technology();
-  const phys::FloorplanParams fp;
-  const cacti::SramBankConfig bank;
-  const core::MotTimingModel model(tech, fp, bank);
-
-  TextTable l2_tbl("L2 latency per power state (derived from the MoT timing model)");
-  l2_tbl.set_header({"Power state", "Cores", "Banks", "L2 latency (cycles)",
-                     "Paper (cycles)", "req+bank+resp"});
-  const char* paper[] = {"12", "9", "9", "7"};
-  int i = 0;
-  for (const core::PowerState& s : core::PowerState::paper_states()) {
-    const core::MotStateTiming t = model.timing(s);
-    l2_tbl.add_row({s.name(), std::to_string(s.active_cores()),
-                    std::to_string(s.active_banks()),
-                    std::to_string(t.l2_round_trip()), paper[i++],
-                    std::to_string(t.request_cycles) + "+" +
-                        std::to_string(t.bank_cycles) + "+" +
-                        std::to_string(t.response_cycles)});
-  }
-  l2_tbl.print(std::cout);
-
-  const cacti::SramBankResult r = cacti::evaluate(bank);
-  TextTable bank_tbl("L2 bank (CACTI-lite, 45nm)");
-  bank_tbl.set_header({"Metric", "Value"});
-  bank_tbl.add_row({"access time", fmt_fixed(r.access_ns, 3) + " ns"});
-  bank_tbl.add_row({"read energy", fmt_fixed(r.read_energy_pj, 1) + " pJ"});
-  bank_tbl.add_row({"write energy", fmt_fixed(r.write_energy_pj, 1) + " pJ"});
-  bank_tbl.add_row({"leakage", fmt_fixed(r.leakage_mw, 2) + " mW"});
-  bank_tbl.add_row({"area", fmt_fixed(r.area_mm2, 3) + " mm^2"});
-  bank_tbl.print(std::cout);
-  return 0;
+  return mot3d::bench::scenario_main("table1_config", argc, argv);
 }

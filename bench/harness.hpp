@@ -1,12 +1,16 @@
-// Shared experiment harness for the per-figure bench binaries.
+// Shared command-line front-end for the per-figure bench binaries.
+//
+// Every figure/table experiment is a declarative sim::ScenarioSpec in the
+// scenario registry (src/sim/scenario_registry.*); each bench binary is a
+// one-line wrapper: `return scenario_main("<registry name>", argc, argv);`.
+// The `mot3d_experiments` CLI runs the same registry entries by name.
 //
 // Every binary accepts:
 //   --scale=<double>    fraction of each app's full instruction budget
-//                       (default 0.5 balances runtime against working-set
-//                       reuse; Fig. 6 benches default to 0.25)
+//                       (default = the scenario's registered default)
 //   --seed=<u64>        workload RNG seed (default 42)
 //   --threads=<n>       sweep worker threads; 0 = hardware concurrency
-//   --json=<path>       write a perf-telemetry JSON report (BENCH_*.json)
+//   --json=<path>       write a perf + metrics JSON report
 //   --scheduler=event|dense
 //                       cluster time-advance mode (default: event; results
 //                       are bit-identical, only wall-clock differs)
@@ -16,10 +20,6 @@
 // Results are shape-stable in scale — the paper's absolute testbed numbers
 // are not reproducible by construction (see DESIGN.md), so each bench
 // prints our measured series next to the paper's reported deltas.
-//
-// Sweeps run through sim::SweepRunner: configurations are queued first,
-// executed across a thread pool, and consumed in queue order, so output is
-// byte-identical at any thread count.
 #pragma once
 
 #include <cmath>
@@ -27,14 +27,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "cluster/cluster.hpp"
-#include "common/table.hpp"
-#include "sim/perf_report.hpp"
-#include "sim/sweep_runner.hpp"
-#include "workload/app_profile.hpp"
+#include "sim/scenario.hpp"
+#include "sim/scenario_registry.hpp"
 
 namespace mot3d::bench {
 
@@ -74,9 +70,9 @@ inline std::uint64_t parse_u64_value(const std::string& flag, const std::string&
   return n;
 }
 
-/// `default_scale`: the Fig. 7/8 EDP experiments need working-set *reuse*
-/// (scale 0.5); the Fig. 6 interconnect comparison has no capacity story
-/// and uses 0.25 to keep the 32 packet-switched runs quick.
+/// `default_scale` comes from the scenario registry entry (the Fig. 7/8
+/// EDP experiments need working-set *reuse* at 0.5; Fig. 6 has no capacity
+/// story and uses 0.25 to keep the 32 packet-switched runs quick).
 inline Options parse_options(int argc, char** argv, double default_scale = 0.5) {
   Options opt;
   opt.scale = default_scale;
@@ -135,101 +131,26 @@ inline Options parse_options(int argc, char** argv, double default_scale = 0.5) 
   return opt;
 }
 
-inline cluster::ClusterConfig make_config(const std::string& app,
-                                          cluster::Fabric fabric,
-                                          const core::PowerState& state,
-                                          mem::DramPreset dram,
-                                          const Options& opt) {
-  cluster::ClusterConfig cfg = cluster::make_paper_config(
-      workload::profile_by_name(app), fabric, state, dram, opt.scale, opt.seed);
-  cfg.scheduler = opt.scheduler;
-  return cfg;
+inline sim::ScenarioOptions to_scenario_options(const Options& opt) {
+  sim::ScenarioOptions sopt;
+  sopt.scale = opt.scale;
+  sopt.seed = opt.seed;
+  sopt.threads = opt.threads;
+  sopt.scheduler = opt.scheduler;
+  sopt.json_path = opt.json_path;
+  return sopt;
 }
 
-/// One-off run (tests, ad-hoc probes).  Sweeping benches use Sweep below.
-inline cluster::SimResult run_app(const std::string& app, cluster::Fabric fabric,
-                                  const core::PowerState& state,
-                                  mem::DramPreset dram, const Options& opt) {
-  return cluster::Cluster(make_config(app, fabric, state, dram, opt)).run();
-}
-
-/// Queue-then-run sweep façade over sim::SweepRunner.  Queue every
-/// configuration with add() (which returns the result index), call run()
-/// once, then read results in any order; finally report() writes the
-/// --json perf telemetry.
-class Sweep {
- public:
-  Sweep(const Options& opt, std::string bench_name)
-      : opt_(opt), name_(std::move(bench_name)), runner_(opt.threads) {}
-
-  std::size_t add(const std::string& app, cluster::Fabric fabric,
-                  const core::PowerState& state, mem::DramPreset dram) {
-    const cluster::ClusterConfig cfg = make_config(app, fabric, state, dram, opt_);
-    tasks_.push_back([cfg] { return cluster::Cluster(cfg).run(); });
-    return tasks_.size() - 1;
+/// The whole body of a bench binary: look the scenario up in the registry,
+/// parse the standard flags (defaults from the spec), run and present.
+inline int scenario_main(const std::string& name, int argc, char** argv) {
+  const sim::ScenarioSpec* spec = sim::find_scenario(name);
+  if (spec == nullptr) {
+    std::cerr << "error: scenario '" << name << "' is not registered\n";
+    return 2;
   }
-
-  void run() {
-    results_ = runner_.run(tasks_);
-    tasks_.clear();
-  }
-
-  const cluster::SimResult& operator[](std::size_t i) const {
-    return results_.at(i);
-  }
-  std::size_t size() const { return results_.size(); }
-  const sim::PerfTelemetry& telemetry() const { return runner_.telemetry(); }
-
-  /// Print the wall-clock summary and write the --json report (if any).
-  /// `extra` lets a bench append its own fields to the JSON object.
-  void report(sim::JsonObject extra = {}) const {
-    const sim::PerfTelemetry& t = runner_.telemetry();
-    std::cout << "[perf] " << t.runs << " runs, "
-              << fmt_fixed(t.wall_seconds, 2) << " s wall, "
-              << fmt_fixed(t.cycles_per_second() / 1e6, 2)
-              << " M simulated cycles/s, threads=" << t.threads
-              << ", scheduler=" << cluster::scheduler_name(opt_.scheduler) << "\n";
-    if (opt_.json_path.empty()) return;
-    sim::JsonObject fields;
-    fields.set("scale", opt_.scale)
-        .set("seed", opt_.seed)
-        .set("scheduler", cluster::scheduler_name(opt_.scheduler));
-    fields.merge(extra);
-    if (sim::write_perf_report(opt_.json_path, name_, t, fields)) {
-      std::cout << "[perf] report written to " << opt_.json_path << "\n";
-    } else {
-      std::cerr << "warning: could not write " << opt_.json_path << "\n";
-    }
-  }
-
- private:
-  Options opt_;
-  std::string name_;
-  sim::SweepRunner runner_;
-  std::vector<sim::SweepRunner::Task> tasks_;
-  std::vector<cluster::SimResult> results_;
-};
-
-inline double average(const std::vector<double>& v) {
-  double s = 0.0;
-  for (double x : v) s += x;
-  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
-}
-
-inline double max_of(const std::vector<double>& v) {
-  double m = v.empty() ? 0.0 : v[0];
-  for (double x : v) m = std::max(m, x);
-  return m;
-}
-
-/// "reduction" convention used throughout the paper: 1 - new/old.
-inline double reduction(double baseline, double value) {
-  return baseline == 0.0 ? 0.0 : 1.0 - value / baseline;
-}
-
-inline void print_header(const std::string& what, const Options& opt) {
-  std::cout << "\n### " << what << "  (scale=" << opt.scale << ", seed=" << opt.seed
-            << ")\n";
+  const Options opt = parse_options(argc, argv, spec->default_scale);
+  return sim::run_and_present(*spec, to_scenario_options(opt), std::cout);
 }
 
 }  // namespace mot3d::bench

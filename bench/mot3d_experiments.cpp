@@ -1,0 +1,281 @@
+// mot3d_experiments — one CLI over the whole scenario registry.
+//
+//   mot3d_experiments list                      # every registered scenario
+//   mot3d_experiments run <name>... [flags]     # run registered scenarios
+//   mot3d_experiments grid --apps=... [flags]   # ad-hoc declarative grid
+//   mot3d_experiments update-golden [name...]   # regenerate golden baselines
+//
+// `run` takes the same flags as the bench binaries (--scale/--seed/
+// --threads/--json/--scheduler) plus --golden to force a scenario's
+// pinned golden options (golden_scale + registry seed) — handy to
+// eyeball exactly what the regression suite compares.
+//
+// `grid` builds a one-off ScenarioSpec from comma-separated axis lists:
+//   --apps=fft,fmm            (default: all eight SPLASH-2 programs)
+//   --fabrics=mot,mesh3d,busmesh,bustree        (default: mot)
+//   --states=Full,PC16-MB8,PC4-MB32,PC4-MB8,PC8-MB16,...  (default: Full)
+//   --dram=200,63,42          (default: 200)
+// Invalid combinations (gated states on packet-switched fabrics) are
+// skipped with a note, exactly like registered sweeps.
+//
+// `update-golden` re-runs every golden scenario (or just the named ones)
+// at its pinned golden options and rewrites tests/golden/<name>.json.
+// This is the one sanctioned way to change a baseline: do it on purpose,
+// look at the diff, and say why in the commit message (see DESIGN.md).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace mot3d;
+
+#ifndef MOT3D_SOURCE_DIR
+#define MOT3D_SOURCE_DIR "."
+#endif
+
+void print_cli_usage(std::ostream& os) {
+  os << "usage: mot3d_experiments <command> [flags]\n"
+     << "  list | --list               list registered scenarios\n"
+     << "  run <name>... [flags]       run registered scenarios by name\n"
+     << "  grid [axes] [flags]         run an ad-hoc grid\n"
+     << "  update-golden [name...]     regenerate golden baselines\n"
+     << "flags: --scale=<d> --seed=<u64> --threads=<n> --json=<path>\n"
+     << "       --scheduler=event|dense --golden\n"
+     << "grid axes: --apps=a,b --fabrics=mot,mesh3d,busmesh,bustree\n"
+     << "           --states=Full,PC4-MB8,... --dram=200,63,42\n"
+     << "update-golden: --dir=<path> (default: " MOT3D_SOURCE_DIR "/tests/golden)\n";
+}
+
+std::vector<std::string> split_csv(const std::string& v) {
+  std::vector<std::string> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_list() {
+  TextTable tbl("registered scenarios (mot3d_experiments run <name>)");
+  tbl.set_header({"name", "figure", "kind", "grid", "golden", "description"});
+  for (const sim::ScenarioSpec& s : sim::all_scenarios()) {
+    const char* kind = s.kind == sim::ScenarioSpec::Kind::kSweep    ? "sweep"
+                       : s.kind == sim::ScenarioSpec::Kind::kTiming ? "timing"
+                                                                    : "custom";
+    tbl.add_row({s.name, s.figure, kind,
+                 s.kind == sim::ScenarioSpec::Kind::kSweep
+                     ? std::to_string(s.grid_size()) + " runs"
+                     : "-",
+                 s.has_golden ? "yes" : "-", s.description});
+  }
+  tbl.print(std::cout);
+  return 0;
+}
+
+/// CLI-only flags peeled off per command; everything else passes through to
+/// bench::parse_options, which rejects flags it does not know — so a flag
+/// given to the wrong subcommand (`run --apps=...`, `update-golden
+/// --scale=...`) fails loudly instead of being silently ignored.
+struct CliArgs {
+  std::vector<std::string> names;       ///< positional scenario names
+  std::vector<std::string> bench_args;  ///< pass-through flags
+  std::vector<std::string> apps;
+  std::vector<std::string> fabrics;
+  std::vector<std::string> states;
+  std::vector<std::string> dram;
+  std::string golden_dir = MOT3D_SOURCE_DIR "/tests/golden";
+  bool use_golden_options = false;
+};
+
+/// Which CLI-only flags a subcommand understands.
+struct CliFlagSet {
+  bool axes = false;    ///< --apps/--fabrics/--states/--dram  (grid)
+  bool golden = false;  ///< --golden                          (run)
+  bool dir = false;     ///< --dir                             (update-golden)
+};
+
+CliArgs parse_cli(int argc, char** argv, int first, const CliFlagSet& allow) {
+  CliArgs out;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (allow.axes && arg.rfind("--apps=", 0) == 0) {
+      out.apps = split_csv(arg.substr(7));
+    } else if (allow.axes && arg.rfind("--fabrics=", 0) == 0) {
+      out.fabrics = split_csv(arg.substr(10));
+    } else if (allow.axes && arg.rfind("--states=", 0) == 0) {
+      out.states = split_csv(arg.substr(9));
+    } else if (allow.axes && arg.rfind("--dram=", 0) == 0) {
+      out.dram = split_csv(arg.substr(7));
+    } else if (allow.dir && arg.rfind("--dir=", 0) == 0) {
+      out.golden_dir = arg.substr(6);
+    } else if (allow.golden && arg == "--golden") {
+      out.use_golden_options = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      out.bench_args.push_back(arg);  // parse_options rejects unknown flags
+    } else {
+      out.names.push_back(arg);
+    }
+  }
+  return out;
+}
+
+/// Re-pack the pass-through flags into an argv for bench::parse_options.
+bench::Options parse_bench_flags(const CliArgs& cli, double default_scale) {
+  std::vector<std::string> storage = cli.bench_args;
+  std::vector<char*> argv = {const_cast<char*>("mot3d_experiments")};
+  for (std::string& s : storage) argv.push_back(s.data());
+  return bench::parse_options(static_cast<int>(argv.size()), argv.data(),
+                              default_scale);
+}
+
+int cmd_run(const CliArgs& cli) {
+  if (cli.names.empty()) {
+    std::cerr << "error: run needs at least one scenario name (see list)\n";
+    return 2;
+  }
+  // One --json path cannot hold several scenarios' reports; refuse rather
+  // than silently keep only the last one written.
+  if (cli.names.size() > 1) {
+    for (const std::string& arg : cli.bench_args) {
+      if (arg.rfind("--json=", 0) == 0) {
+        std::cerr << "error: --json with multiple scenarios would overwrite "
+                     "the same file; run them one at a time\n";
+        return 2;
+      }
+    }
+  }
+  for (const std::string& name : cli.names) {
+    const sim::ScenarioSpec* spec = sim::find_scenario(name);
+    if (spec == nullptr) {
+      std::cerr << "error: scenario '" << name << "' is not registered\n";
+      return 2;
+    }
+    sim::ScenarioOptions opt =
+        bench::to_scenario_options(parse_bench_flags(cli, spec->default_scale));
+    if (cli.use_golden_options) {
+      const std::string json = opt.json_path;
+      const auto scheduler = opt.scheduler;
+      opt = sim::golden_options(*spec);
+      opt.json_path = json;
+      opt.scheduler = scheduler;
+    }
+    const int rc = sim::run_and_present(*spec, opt, std::cout);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+int cmd_grid(const CliArgs& cli) {
+  if (!cli.names.empty()) {
+    std::cerr << "error: grid takes axis flags, not positional names (got '"
+              << cli.names.front() << "')\n";
+    return 2;
+  }
+  sim::ScenarioSpec spec;
+  spec.name = "adhoc_grid";
+  spec.figure = "-";
+  spec.description = "ad-hoc grid from the command line";
+  spec.has_golden = false;
+  spec.apps = cli.apps.empty() ? workload::splash2_names() : cli.apps;
+  try {
+    for (const std::string& a : spec.apps) (void)workload::profile_by_name(a);
+    if (cli.fabrics.empty()) {
+      spec.fabrics = {cluster::Fabric::kMot};
+    } else {
+      for (const std::string& f : cli.fabrics) {
+        spec.fabrics.push_back(sim::fabric_by_key(f));
+      }
+    }
+    if (cli.states.empty()) {
+      spec.power_states = {core::PowerState::full()};
+    } else {
+      for (const std::string& s : cli.states) {
+        spec.power_states.push_back(sim::power_state_by_name(s));
+      }
+    }
+    if (cli.dram.empty()) {
+      spec.dram_presets = {mem::DramPreset::kDdr3_200ns};
+    } else {
+      for (const std::string& d : cli.dram) {
+        spec.dram_presets.push_back(sim::dram_preset_by_key(d));
+      }
+    }
+  } catch (const std::out_of_range&) {
+    std::cerr << "error: unknown app in --apps (want SPLASH-2 names)\n";
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  const sim::ScenarioOptions opt =
+      bench::to_scenario_options(parse_bench_flags(cli, spec.default_scale));
+  return sim::run_and_present(spec, opt, std::cout);
+}
+
+int cmd_update_golden(const CliArgs& cli) {
+  // Baselines are only valid at each scenario's pinned golden options —
+  // reject any attempt to bend them with run-time flags.
+  if (!cli.bench_args.empty()) {
+    std::cerr << "error: update-golden takes no run flags (got '"
+              << cli.bench_args.front()
+              << "'); baselines always use each scenario's golden options\n";
+    return 2;
+  }
+  std::vector<std::string> names =
+      cli.names.empty() ? sim::golden_scenario_names() : cli.names;
+  std::error_code ec;
+  std::filesystem::create_directories(cli.golden_dir, ec);
+  for (const std::string& name : names) {
+    const sim::ScenarioSpec* spec = sim::find_scenario(name);
+    if (spec == nullptr || !spec->has_golden) {
+      std::cerr << "error: '" << name << "' is not a golden scenario\n";
+      return 2;
+    }
+    const sim::ScenarioOutcome out =
+        sim::run_scenario(*spec, sim::golden_options(*spec));
+    const std::string path = cli.golden_dir + "/" + name + ".json";
+    std::ofstream f(path);
+    if (!f) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return 1;
+    }
+    f << sim::scenario_metrics_json(out);
+    std::cout << "wrote " << path << " (" << (out.runs.empty()
+                                                  ? out.timing_rows.size()
+                                                  : out.results.size())
+              << " entries)\n";
+  }
+  std::cout << "golden baselines updated — commit the diff together with the\n"
+               "model change that motivated it (tests/test_golden_figures.cpp\n"
+               "compares these files byte-for-byte under both schedulers).\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_cli_usage(std::cerr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "list" || cmd == "--list") return cmd_list();
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    print_cli_usage(std::cout);
+    return 0;
+  }
+  if (cmd == "run") return cmd_run(parse_cli(argc, argv, 2, {.golden = true}));
+  if (cmd == "grid") return cmd_grid(parse_cli(argc, argv, 2, {.axes = true}));
+  if (cmd == "update-golden") {
+    return cmd_update_golden(parse_cli(argc, argv, 2, {.dir = true}));
+  }
+  std::cerr << "error: unknown command '" << cmd << "'\n";
+  print_cli_usage(std::cerr);
+  return 2;
+}

@@ -31,6 +31,8 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+}  // namespace
+
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "0";
   char buf[32];
@@ -38,10 +40,12 @@ std::string json_number(double v) {
   return std::string(buf, res.ptr);
 }
 
-}  // namespace
+std::string json_string(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
 
 JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
-  fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  fields_.emplace_back(key, json_string(value));
   return *this;
 }
 
@@ -64,6 +68,11 @@ JsonObject& JsonObject::set(const std::string& key, bool value) {
   return *this;
 }
 
+JsonObject& JsonObject::set_raw(const std::string& key, const std::string& raw_json) {
+  fields_.emplace_back(key, raw_json);
+  return *this;
+}
+
 JsonObject& JsonObject::merge(const JsonObject& other) {
   fields_.insert(fields_.end(), other.fields_.begin(), other.fields_.end());
   return *this;
@@ -77,6 +86,37 @@ std::string JsonObject::str() const {
   }
   out += "}";
   return out;
+}
+
+JsonArray& JsonArray::push(const JsonObject& obj) {
+  elements_.push_back(obj.str());
+  return *this;
+}
+
+JsonArray& JsonArray::push_raw(const std::string& raw_json) {
+  elements_.push_back(raw_json);
+  return *this;
+}
+
+std::string JsonArray::str(int indent) const {
+  if (indent < 0) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < elements_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += elements_[i];
+    }
+    return out + "]";
+  }
+  if (elements_.empty()) return "[]";
+  const std::string outer(static_cast<std::size_t>(indent), ' ');
+  const std::string inner(static_cast<std::size_t>(indent) + 2, ' ');
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    out += inner + elements_[i];
+    if (i + 1 < elements_.size()) out += ",";
+    out += "\n";
+  }
+  return out + outer + "]";
 }
 
 bool write_perf_report(const std::string& path, const std::string& bench,

@@ -16,6 +16,15 @@
 
 namespace mot3d::sim {
 
+/// Canonical JSON number: shortest round-trip formatting, so equal doubles
+/// always serialise to equal bytes (the golden baselines depend on this).
+std::string json_number(double v);
+
+/// Canonical JSON string literal (quoted + escaped).
+std::string json_string(const std::string& s);
+
+class JsonArray;
+
 /// Flat JSON object with insertion-ordered, deterministic serialisation.
 class JsonObject {
  public:
@@ -27,6 +36,8 @@ class JsonObject {
     return set(key, static_cast<std::uint64_t>(value));
   }
   JsonObject& set(const std::string& key, bool value);
+  /// Nest an already-serialised JSON value (object or array) under `key`.
+  JsonObject& set_raw(const std::string& key, const std::string& raw_json);
 
   /// Append every field of `other` after this object's own fields.
   JsonObject& merge(const JsonObject& other);
@@ -35,6 +46,23 @@ class JsonObject {
 
  private:
   std::vector<std::pair<std::string, std::string>> fields_;  ///< key -> raw json
+};
+
+/// JSON array of already-serialised values, one element per line when
+/// `str(indent)` is called with a non-negative indent (golden files keep
+/// one run per line so diffs stay reviewable).
+class JsonArray {
+ public:
+  JsonArray& push(const JsonObject& obj);
+  JsonArray& push_raw(const std::string& raw_json);
+  std::size_t size() const { return elements_.size(); }
+
+  /// `indent < 0`: single line.  `indent >= 0`: one element per line,
+  /// each prefixed by `indent + 2` spaces, closing bracket at `indent`.
+  std::string str(int indent = -1) const;
+
+ private:
+  std::vector<std::string> elements_;
 };
 
 /// Canonical bench perf report (bench name + telemetry + extra fields

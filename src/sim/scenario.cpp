@@ -1,0 +1,329 @@
+#include "sim/scenario.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/table.hpp"
+
+namespace mot3d::sim {
+
+namespace {
+
+bool run_is_valid(const ScenarioRun& r) {
+  // Packet-switched baselines only run the full (ungated) configuration —
+  // the same invariant Cluster's constructor enforces.
+  if (r.fabric == cluster::Fabric::kMot) return true;
+  return r.state.active_cores() == r.state.total_cores() &&
+         r.state.active_banks() == r.state.total_banks();
+}
+
+JsonObject run_metrics(const ScenarioRun& run, const cluster::SimResult& r) {
+  JsonObject o;
+  o.set("app", run.app)
+      .set("fabric", cluster::fabric_name(run.fabric))
+      .set("state", run.state.name())
+      .set("dram_ns", mem::dram_latency_ns(run.dram))
+      .set("cycles", static_cast<std::uint64_t>(r.cycles))
+      .set("instructions", r.instructions)
+      .set("ipc", r.ipc())
+      .set("l2_hits", r.l2.hits)
+      .set("l2_misses", r.l2.misses)
+      .set("l2_writebacks", r.l2.writebacks)
+      .set("l2_bank_conflict_cycles", r.l2.bank_conflict_cycles)
+      .set("l2_resident_lines", static_cast<std::uint64_t>(r.l2_resident_lines))
+      .set("l2_hit_latency_mean", r.l2_hit_latency.mean())
+      .set("l2_latency_mean", r.l2_latency.mean())
+      .set("l2_latency_p95", r.l2_latency.quantile(0.95))
+      .set("dram_reads", r.dram.reads)
+      .set("dram_writes", r.dram.writes)
+      .set("dram_wait_cycles", r.dram.total_wait_cycles)
+      .set("icn_requests_injected", r.interconnect.requests_injected)
+      .set("icn_requests_delivered", r.interconnect.requests_delivered)
+      .set("icn_responses_delivered", r.interconnect.responses_delivered)
+      .set("icn_arbitration_wait_cycles", r.interconnect.arbitration_wait_cycles)
+      .set("l1d_miss_rate", r.l1d_miss_rate)
+      .set("l1i_miss_rate", r.l1i_miss_rate)
+      .set("energy_core_pj", r.energy.component_pj(power::Component::kCore))
+      .set("energy_l1_pj", r.energy.component_pj(power::Component::kL1))
+      .set("energy_l2_pj", r.energy.component_pj(power::Component::kL2))
+      .set("energy_icn_pj", r.energy.component_pj(power::Component::kInterconnect))
+      .set("energy_dram_pj", r.energy.component_pj(power::Component::kDram))
+      .set("edp_energy_pj", r.energy.edp_energy_pj())
+      .set("edp_pj_s", r.edp_pj_s)
+      .set("avg_power_w", r.avg_power_w);
+  return o;
+}
+
+JsonObject timing_metrics(const TimingRow& t) {
+  JsonObject o;
+  o.set("state", t.state)
+      .set("cores", static_cast<std::uint64_t>(t.cores))
+      .set("banks", static_cast<std::uint64_t>(t.banks))
+      .set("bank_field_mm", t.bank_field_mm)
+      .set("core_field_mm", t.core_field_mm)
+      .set("longest_link_mm", t.longest_link_mm)
+      .set("request_path_mm", t.request_path_mm)
+      .set("request_delay_ns", t.timing.request_delay_ns)
+      .set("response_delay_ns", t.timing.response_delay_ns)
+      .set("request_cycles", t.timing.request_cycles)
+      .set("bank_cycles", t.timing.bank_cycles)
+      .set("response_cycles", t.timing.response_cycles)
+      .set("l2_round_trip", t.timing.l2_round_trip())
+      .set("powered_repeaters", static_cast<std::uint64_t>(t.powered_repeaters))
+      .set("powered_switches", static_cast<std::uint64_t>(t.powered_switches));
+  return o;
+}
+
+void present_generic(const ScenarioOutcome& out, std::ostream& os) {
+  const ScenarioSpec& spec = *out.spec;
+  if (spec.kind == ScenarioSpec::Kind::kTiming) {
+    TextTable tbl(spec.name + " — per-state timing/geometry");
+    tbl.set_header({"state", "cores", "banks", "longest link (mm)",
+                    "request delay (ns)", "L2 round trip (cy)"});
+    for (const TimingRow& t : out.timing_rows) {
+      tbl.add_row({t.state, std::to_string(t.cores), std::to_string(t.banks),
+                   fmt_fixed(t.longest_link_mm, 2),
+                   fmt_fixed(t.timing.request_delay_ns, 2),
+                   std::to_string(t.timing.l2_round_trip())});
+    }
+    tbl.print(os);
+    return;
+  }
+  TextTable tbl(spec.name + " — " + std::to_string(out.results.size()) + " runs");
+  tbl.set_header({"app", "fabric", "state", "DRAM (ns)", "kcycles", "IPC",
+                  "L2 hit rate", "EDP (pJ s)"});
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    const ScenarioRun& run = out.runs[i];
+    const cluster::SimResult& r = out.results[i];
+    tbl.add_row({run.app, cluster::fabric_name(run.fabric), run.state.name(),
+                 fmt_fixed(mem::dram_latency_ns(run.dram), 0),
+                 fmt_fixed(static_cast<double>(r.cycles) / 1000.0, 0),
+                 fmt_fixed(r.ipc(), 2), fmt_fixed(r.l2.hit_rate(), 2),
+                 fmt_fixed(r.edp_pj_s, 3)});
+  }
+  tbl.print(os);
+}
+
+}  // namespace
+
+std::size_t ScenarioSpec::grid_size() const {
+  if (kind != Kind::kSweep) return power_states.size();
+  return apps.size() * fabrics.size() * power_states.size() * dram_presets.size();
+}
+
+std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec, std::size_t* skipped) {
+  std::vector<ScenarioRun> runs;
+  std::size_t dropped = 0;
+  for (const std::string& app : spec.apps) {
+    for (cluster::Fabric fabric : spec.fabrics) {
+      for (const core::PowerState& state : spec.power_states) {
+        for (mem::DramPreset dram : spec.dram_presets) {
+          const ScenarioRun run{app, fabric, state, dram};
+          if (run_is_valid(run)) {
+            runs.push_back(run);
+          } else {
+            ++dropped;
+          }
+        }
+      }
+    }
+  }
+  if (skipped != nullptr) *skipped = dropped;
+  return runs;
+}
+
+const cluster::SimResult& ScenarioOutcome::result(const std::string& app,
+                                                  cluster::Fabric fabric,
+                                                  const std::string& state_name,
+                                                  mem::DramPreset dram) const {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].app == app && runs[i].fabric == fabric &&
+        runs[i].state.name() == state_name && runs[i].dram == dram) {
+      return results[i];
+    }
+  }
+  throw std::out_of_range("no result for " + app + "/" +
+                          cluster::fabric_name(fabric) + "/" + state_name);
+}
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioOptions& opt) {
+  if (spec.kind == ScenarioSpec::Kind::kCustom) {
+    throw std::logic_error("custom scenario '" + spec.name +
+                           "' runs through run_and_present");
+  }
+  ScenarioOutcome out;
+  out.spec = &spec;
+  out.options = opt;
+
+  if (spec.kind == ScenarioSpec::Kind::kTiming) {
+    const phys::TechnologyParams tech = phys::default_technology();
+    const phys::FloorplanParams fp;
+    const phys::ClusterGeometry geo(fp, tech);
+    const cacti::SramBankConfig bank_cfg;
+    const core::MotTimingModel model(tech, fp, bank_cfg);
+    for (const core::PowerState& s : spec.power_states) {
+      TimingRow t;
+      t.state = s.name();
+      t.cores = s.active_cores();
+      t.banks = s.active_banks();
+      t.bank_field_mm = geo.bank_field_span_mm(s.active_banks());
+      t.core_field_mm = geo.core_field_span_mm(s.active_cores());
+      t.longest_link_mm = geo.longest_link_mm(s.active_cores(), s.active_banks());
+      t.request_path_mm = geo.request_path_mm(s.active_cores(), s.active_banks());
+      t.timing = model.timing(s);
+      t.powered_repeaters = model.powered_repeaters(s);
+      t.powered_switches = model.powered_switches(s);
+      out.timing_rows.push_back(t);
+    }
+    const cacti::SramBankResult r = cacti::evaluate(bank_cfg);
+    out.sram = {r.access_ns, r.read_energy_pj, r.write_energy_pj, r.leakage_mw,
+                r.area_mm2};
+    return out;
+  }
+
+  out.runs = expand_grid(spec, &out.skipped_invalid);
+  SweepRunner runner(opt.threads);
+  std::vector<SweepRunner::Task> tasks;
+  tasks.reserve(out.runs.size());
+  for (const ScenarioRun& run : out.runs) {
+    cluster::ClusterConfig cfg = cluster::make_paper_config(
+        workload::profile_by_name(run.app), run.fabric, run.state, run.dram,
+        opt.scale, opt.seed);
+    cfg.scheduler = opt.scheduler;
+    tasks.push_back([cfg] { return cluster::Cluster(cfg).run(); });
+  }
+  out.results = runner.run(tasks);
+  out.telemetry = runner.telemetry();
+  return out;
+}
+
+std::string scenario_metrics_json(const ScenarioOutcome& outcome) {
+  const ScenarioSpec& spec = *outcome.spec;
+  JsonObject head;
+  head.set("scenario", spec.name)
+      .set("figure", spec.figure)
+      .set("kind", spec.kind == ScenarioSpec::Kind::kTiming ? "timing" : "sweep")
+      .set("scale", outcome.options.scale)
+      .set("seed", outcome.options.seed);
+
+  JsonArray runs;
+  if (spec.kind == ScenarioSpec::Kind::kTiming) {
+    for (const TimingRow& t : outcome.timing_rows) runs.push(timing_metrics(t));
+    JsonObject sram;
+    sram.set("access_ns", outcome.sram.access_ns)
+        .set("read_energy_pj", outcome.sram.read_energy_pj)
+        .set("write_energy_pj", outcome.sram.write_energy_pj)
+        .set("leakage_mw", outcome.sram.leakage_mw)
+        .set("area_mm2", outcome.sram.area_mm2);
+    head.set_raw("l2_bank_sram", sram.str());
+  } else {
+    for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+      runs.push(run_metrics(outcome.runs[i], outcome.results[i]));
+    }
+  }
+
+  // Assembled by hand so each run lands on its own line: golden-file diffs
+  // stay reviewable run-by-run.
+  std::string out = "{\n";
+  out += "  \"meta\": " + head.str() + ",\n";
+  out += "  \"runs\": " + runs.str(2) + "\n";
+  out += "}\n";
+  return out;
+}
+
+bool write_scenario_report(const std::string& path, const ScenarioOutcome& outcome) {
+  JsonObject extra;
+  extra.set("scale", outcome.options.scale)
+      .set("seed", outcome.options.seed)
+      .set("scheduler", cluster::scheduler_name(outcome.options.scheduler))
+      .set_raw("metrics", scenario_metrics_json(outcome));
+  return write_perf_report(path, outcome.spec->name, outcome.telemetry, extra);
+}
+
+int run_and_present(const ScenarioSpec& spec, const ScenarioOptions& opt,
+                    std::ostream& os) {
+  if (spec.kind == ScenarioSpec::Kind::kCustom) {
+    return spec.run_custom ? spec.run_custom(spec, opt, os) : 2;
+  }
+  const ScenarioOutcome out = run_scenario(spec, opt);
+  if (spec.present) {
+    spec.present(out, os);
+  } else {
+    present_generic(out, os);
+  }
+  if (out.skipped_invalid > 0) {
+    os << "note: skipped " << out.skipped_invalid
+       << " invalid grid cells (packet-switched fabrics only run ungated)\n";
+  }
+  if (spec.kind == ScenarioSpec::Kind::kSweep) {
+    const PerfTelemetry& t = out.telemetry;
+    os << "[perf] " << t.runs << " runs, " << fmt_fixed(t.wall_seconds, 2)
+       << " s wall, " << fmt_fixed(t.cycles_per_second() / 1e6, 2)
+       << " M simulated cycles/s, threads=" << t.threads
+       << ", scheduler=" << cluster::scheduler_name(opt.scheduler) << "\n";
+  }
+  if (!opt.json_path.empty()) {
+    if (write_scenario_report(opt.json_path, out)) {
+      os << "[perf] report written to " << opt.json_path << "\n";
+    } else {
+      std::cerr << "warning: could not write " << opt.json_path << "\n";
+    }
+  }
+  return 0;
+}
+
+ScenarioOptions golden_options(const ScenarioSpec& spec) {
+  ScenarioOptions opt;
+  opt.scale = spec.golden_scale;
+  opt.seed = spec.seed;
+  opt.threads = 0;
+  opt.scheduler = cluster::SchedulerMode::kEventDriven;
+  return opt;
+}
+
+const char* fabric_key(cluster::Fabric f) {
+  switch (f) {
+    case cluster::Fabric::kMot: return "mot";
+    case cluster::Fabric::kTrueMesh3d: return "mesh3d";
+    case cluster::Fabric::kHybridBusMesh: return "busmesh";
+    case cluster::Fabric::kHybridBusTree: return "bustree";
+  }
+  return "?";
+}
+
+cluster::Fabric fabric_by_key(const std::string& key) {
+  if (key == "mot") return cluster::Fabric::kMot;
+  if (key == "mesh3d" || key == "mesh") return cluster::Fabric::kTrueMesh3d;
+  if (key == "busmesh") return cluster::Fabric::kHybridBusMesh;
+  if (key == "bustree") return cluster::Fabric::kHybridBusTree;
+  throw std::invalid_argument("unknown fabric '" + key +
+                              "' (want mot|mesh3d|busmesh|bustree)");
+}
+
+core::PowerState power_state_by_name(const std::string& name) {
+  for (const core::PowerState& s : core::PowerState::paper_states()) {
+    if (s.name() == name) return s;
+  }
+  // Generic "PC<cores>-MB<banks>" on the Table I cluster shape.  %n pins
+  // the match to the whole string: "PC4-MB8x" must throw, not parse.
+  std::size_t cores = 0, banks = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "PC%zu-MB%zu%n", &cores, &banks, &consumed) == 2 &&
+      static_cast<std::size_t>(consumed) == name.size()) {
+    return core::PowerState(name, 16, cores, 32, banks);
+  }
+  throw std::invalid_argument("unknown power state '" + name +
+                              "' (want Full or PC<cores>-MB<banks>)");
+}
+
+mem::DramPreset dram_preset_by_key(const std::string& key) {
+  if (key == "200" || key == "ddr3") return mem::DramPreset::kDdr3_200ns;
+  if (key == "63" || key == "wideio") return mem::DramPreset::kWideIo_63ns;
+  if (key == "42" || key == "weis3d") return mem::DramPreset::kWeis3d_42ns;
+  throw std::invalid_argument("unknown DRAM preset '" + key +
+                              "' (want 200|63|42 or ddr3|wideio|weis3d)");
+}
+
+}  // namespace mot3d::sim

@@ -1,0 +1,171 @@
+// Declarative scenario engine: experiments are data, not code.
+//
+// A ScenarioSpec describes one paper experiment as a grid over the
+// evaluation axes (SPLASH-2 app x fabric x power state x DRAM preset) plus
+// run knobs (scale, seed, scheduler).  The engine expands the grid into
+// independent cluster simulations, executes them across the SweepRunner
+// thread pool, and serialises the modeled metrics of every run to one
+// canonical JSON document — byte-identical for a given (spec, options)
+// regardless of thread count or scheduler mode, which is what the golden
+// regression suite (tests/golden/, tests/test_golden_figures.cpp) pins.
+//
+// Three kinds of scenario exist:
+//  * kSweep  — a cluster-simulation grid (Figs. 6-8);
+//  * kTiming — analytic geometry/timing tables (Fig. 5, Table I), no
+//              simulation, still golden-checked;
+//  * kCustom — self-driving bodies (microbenchmarks, ablations) that are
+//              listed and runnable but produce no golden baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/mot_timing.hpp"
+#include "sim/perf_report.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace mot3d::sim {
+
+struct ScenarioOutcome;
+struct ScenarioSpec;
+
+/// Run-time knobs resolved from the command line (or golden defaults).
+struct ScenarioOptions {
+  double scale = 0.5;
+  std::uint64_t seed = 42;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  cluster::SchedulerMode scheduler = cluster::SchedulerMode::kEventDriven;
+  std::string json_path;  ///< perf + metrics report destination ("" = none)
+};
+
+/// One experiment, described declaratively.
+struct ScenarioSpec {
+  enum class Kind { kSweep, kTiming, kCustom };
+
+  std::string name;         ///< registry key, e.g. "fig6b_exec_time"
+  std::string figure;       ///< paper anchor, e.g. "Fig. 6(b)"
+  std::string description;  ///< one line for `mot3d_experiments --list`
+  Kind kind = Kind::kSweep;
+
+  // -- sweep grid (kSweep; expansion order: apps > fabrics > states > dram) --
+  std::vector<std::string> apps;
+  std::vector<cluster::Fabric> fabrics;
+  std::vector<core::PowerState> power_states;
+  std::vector<mem::DramPreset> dram_presets;
+
+  // -- run knobs --
+  double default_scale = 0.5;  ///< bench-binary default (--scale overrides)
+  double golden_scale = 0.02;  ///< reduced scale pinned by the golden suite
+  std::uint64_t seed = 42;
+
+  /// Timing and sweep scenarios pin a baseline under tests/golden/.
+  bool has_golden = true;
+
+  /// Figure-specific tables / paper-claim comparison.  Null => generic table.
+  std::function<void(const ScenarioOutcome&, std::ostream&)> present;
+
+  /// kCustom only: the whole body (returns the process exit code).
+  std::function<int(const ScenarioSpec&, const ScenarioOptions&, std::ostream&)>
+      run_custom;
+
+  std::size_t grid_size() const;
+};
+
+/// One cell of an expanded sweep grid.
+struct ScenarioRun {
+  std::string app;
+  cluster::Fabric fabric = cluster::Fabric::kMot;
+  core::PowerState state = core::PowerState::full();
+  mem::DramPreset dram = mem::DramPreset::kDdr3_200ns;
+};
+
+/// Analytic payload of a kTiming scenario, one row per power state.
+struct TimingRow {
+  std::string state;
+  std::size_t cores = 0;
+  std::size_t banks = 0;
+  double bank_field_mm = 0.0;
+  double core_field_mm = 0.0;
+  double longest_link_mm = 0.0;
+  double request_path_mm = 0.0;
+  core::MotStateTiming timing;
+  std::size_t powered_repeaters = 0;
+  std::size_t powered_switches = 0;
+};
+
+/// CACTI-lite L2 bank summary (kTiming payload, Table I).
+struct SramSummary {
+  double access_ns = 0.0;
+  double read_energy_pj = 0.0;
+  double write_energy_pj = 0.0;
+  double leakage_mw = 0.0;
+  double area_mm2 = 0.0;
+};
+
+/// Everything a presenter / serialiser needs from one scenario execution.
+struct ScenarioOutcome {
+  const ScenarioSpec* spec = nullptr;
+  ScenarioOptions options;
+
+  // kSweep: runs[i] produced results[i] (grid order).
+  std::vector<ScenarioRun> runs;
+  std::vector<cluster::SimResult> results;
+  std::size_t skipped_invalid = 0;  ///< gated states on packet-switched fabrics
+
+  // kTiming payload.
+  std::vector<TimingRow> timing_rows;
+  SramSummary sram;
+
+  PerfTelemetry telemetry;
+
+  /// Result lookup by axes; throws std::out_of_range when absent.
+  const cluster::SimResult& result(const std::string& app, cluster::Fabric fabric,
+                                   const std::string& state_name,
+                                   mem::DramPreset dram) const;
+};
+
+/// Expand the spec's grid in canonical order, dropping invalid combinations
+/// (the packet-switched baselines only run ungated); `skipped` (optional)
+/// reports how many cells were dropped.
+std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec,
+                                     std::size_t* skipped = nullptr);
+
+/// Execute a kSweep or kTiming scenario (kCustom scenarios run through
+/// run_and_present, which dispatches to their body).
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioOptions& opt);
+
+/// Canonical modeled-metrics JSON — the golden-baseline format.  Contains
+/// only deterministic modeled quantities (no wall-clock telemetry); equal
+/// for kEventDriven and kDenseTick by the scheduler-equivalence contract.
+std::string scenario_metrics_json(const ScenarioOutcome& outcome);
+
+/// Full --json report: perf telemetry + options + the metrics document.
+bool write_scenario_report(const std::string& path, const ScenarioOutcome& outcome);
+
+/// Run a scenario of any kind, print its tables (spec.present or a generic
+/// table), emit the [perf] line and the --json report.  Returns an exit code.
+int run_and_present(const ScenarioSpec& spec, const ScenarioOptions& opt,
+                    std::ostream& os);
+
+/// Golden-baseline options for a spec: golden_scale, the spec's seed, the
+/// default scheduler.  The golden suite runs these under both schedulers.
+ScenarioOptions golden_options(const ScenarioSpec& spec);
+
+// -- axis parsing/naming helpers (shared by the CLI and the registry) --------
+
+/// Short stable keys for the CLI: "mot", "mesh3d", "busmesh", "bustree".
+const char* fabric_key(cluster::Fabric f);
+cluster::Fabric fabric_by_key(const std::string& key);  ///< throws on unknown
+
+/// "Full" / "PC16-MB8" / ... plus generic "PC<cores>-MB<banks>" (powers of
+/// two, on a 16-core 32-bank cluster).  Throws std::invalid_argument.
+core::PowerState power_state_by_name(const std::string& name);
+
+/// "200"/"ddr3", "63"/"wideio", "42"/"weis3d".  Throws on unknown.
+mem::DramPreset dram_preset_by_key(const std::string& key);
+
+}  // namespace mot3d::sim

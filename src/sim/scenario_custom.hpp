@@ -1,0 +1,29 @@
+// Custom scenario bodies: experiments that are not a declarative grid —
+// the self-timed hot-path microbenchmarks and the two modeling ablations.
+// They are registered in the scenario registry as Kind::kCustom so that
+// `mot3d_experiments` can list and run them, but they pin no golden
+// baseline (their outputs are wall-clock measurements or design-space
+// tables rather than figure metrics).
+#pragma once
+
+#include <iosfwd>
+
+namespace mot3d::sim {
+
+struct ScenarioOptions;
+struct ScenarioSpec;
+
+/// Repeater insertion vs Elmore wire delay (bench_ablation_wire).
+int run_ablation_wire(const ScenarioSpec& spec, const ScenarioOptions& opt,
+                      std::ostream& os);
+
+/// MoT contention vs offered load across power states (bench_ablation_pipeline).
+int run_ablation_pipeline(const ScenarioSpec& spec, const ScenarioOptions& opt,
+                          std::ostream& os);
+
+/// Hot-path microbenchmarks + dense-vs-event scheduler speedup on the
+/// Fig. 6 sweep, with a differential identity check (bench_micro_sim).
+int run_micro_sim(const ScenarioSpec& spec, const ScenarioOptions& opt,
+                  std::ostream& os);
+
+}  // namespace mot3d::sim

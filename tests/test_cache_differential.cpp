@@ -140,6 +140,174 @@ TEST_P(CacheDifferential, RandomisedAgreement) {
   }
 }
 
+// ---- directed eviction / write-back cases ----------------------------------
+// The randomized differential proves DUT == reference; these pin the
+// *intended* semantics directly, so a bug shared with the reference model
+// cannot hide.
+
+TEST(CacheDirected, TrueLruEvictionOrderWithTouches) {
+  // 8 sets; addresses k * 256 all land in set 0 (line 32 B, 4-way).
+  const CacheConfig cfg{.capacity_bytes = 1024,
+                        .line_bytes = 32,
+                        .associativity = 4,
+                        .index_shift = 0};
+  Cache cache(cfg);
+  auto addr = [](Addr k) { return k * 256; };
+
+  for (Addr k = 0; k < 4; ++k) {
+    const InsertResult r = cache.insert(addr(k), false);
+    EXPECT_FALSE(r.evicted) << k;
+  }
+  // Touch A0: recency becomes A0, A3, A2, A1.
+  EXPECT_TRUE(cache.lookup(addr(0), false).hit);
+
+  // A4 must displace the true LRU, A1 — not the oldest-inserted A0.
+  const InsertResult e1 = cache.insert(addr(4), false);
+  ASSERT_TRUE(e1.evicted);
+  EXPECT_EQ(e1.evicted_line_addr, addr(1));
+  EXPECT_FALSE(e1.evicted_dirty);
+
+  // Dirty A2 via a write hit; recency: A2, A4, A0, A3.
+  EXPECT_TRUE(cache.lookup(addr(2), true).hit);
+
+  // Three more inserts evict A3, A0, A4 (all clean) in LRU order...
+  for (Addr k = 5; k < 8; ++k) {
+    const InsertResult r = cache.insert(addr(k), false);
+    ASSERT_TRUE(r.evicted) << k;
+    EXPECT_FALSE(r.evicted_dirty) << k;
+  }
+  // ...so the next eviction is the dirty A2, and it must demand write-back.
+  const InsertResult e2 = cache.insert(addr(8), false);
+  ASSERT_TRUE(e2.evicted);
+  EXPECT_EQ(e2.evicted_line_addr, addr(2));
+  EXPECT_TRUE(e2.evicted_dirty);
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+}
+
+TEST(CacheDirected, FlushReturnsExactlyTheDirtyLines) {
+  const CacheConfig cfg{.capacity_bytes = 4 * 1024,
+                        .line_bytes = 32,
+                        .associativity = 4,
+                        .index_shift = 0};
+  Cache cache(cfg);
+  std::vector<Addr> dirty_expected;
+  for (Addr k = 0; k < 32; ++k) {
+    const bool dirty = (k % 3) == 0;
+    cache.insert(k * 32, dirty);
+    if (dirty) dirty_expected.push_back(k * 32);
+  }
+  std::vector<Addr> flushed = cache.flush();
+  std::sort(flushed.begin(), flushed.end());
+  EXPECT_EQ(flushed, dirty_expected);
+  EXPECT_EQ(cache.valid_lines(), 0u);
+  EXPECT_EQ(cache.dirty_lines(), 0u);
+  // A flushed cache misses everything it previously held.
+  for (Addr k = 0; k < 32; ++k) EXPECT_FALSE(cache.probe(k * 32)) << k;
+}
+
+TEST(CacheDirected, InsertingDirtyOverCleanUpgradesAndSticks) {
+  const CacheConfig cfg{.capacity_bytes = 1024,
+                        .line_bytes = 32,
+                        .associativity = 4,
+                        .index_shift = 0};
+  Cache cache(cfg);
+  cache.insert(0, false);
+  EXPECT_EQ(cache.dirty_lines(), 0u);
+  // An L1 write-back landing on a resident clean line marks it dirty.
+  cache.insert(0, true);
+  EXPECT_EQ(cache.dirty_lines(), 1u);
+  EXPECT_EQ(cache.valid_lines(), 1u);
+  // A later clean re-insert must not wash the dirty bit out.
+  cache.insert(0, false);
+  EXPECT_EQ(cache.dirty_lines(), 1u);
+}
+
+// ---- multi-bank interleave (the L2's organisation) -------------------------
+// The stacked L2 is 32 banks with the low log2(banks) line-address bits as
+// the (fixed) bank index and index_shift = 5 stripping them from each
+// bank's set index.  These tests drive a 32-bank ensemble exactly the way
+// L2System routes lines, against one reference model per bank.
+
+struct BankEnsemble {
+  static constexpr std::size_t kBanks = 32;
+  static constexpr std::size_t kLine = 32;
+
+  explicit BankEnsemble(std::size_t bank_capacity) {
+    const CacheConfig cfg{.capacity_bytes = bank_capacity,
+                          .line_bytes = kLine,
+                          .associativity = 8,
+                          .index_shift = 5};  // log2(kBanks)
+    for (std::size_t b = 0; b < kBanks; ++b) {
+      duts.emplace_back(cfg);
+      refs.emplace_back(cfg);
+    }
+  }
+
+  static std::size_t bank_of(Addr addr) { return (addr / kLine) % kBanks; }
+
+  std::vector<Cache> duts;
+  std::vector<ReferenceCache> refs;
+};
+
+TEST(CacheMultiBank, SequentialLinesInterleaveUniformly) {
+  BankEnsemble e(64 * 1024);
+  const std::size_t lines = 32 * 128;
+  for (Addr i = 0; i < lines; ++i) {
+    const Addr addr = i * BankEnsemble::kLine;
+    e.duts[BankEnsemble::bank_of(addr)].insert(addr, false);
+  }
+  for (std::size_t b = 0; b < BankEnsemble::kBanks; ++b) {
+    EXPECT_EQ(e.duts[b].valid_lines(), 128u) << "bank " << b;
+  }
+  // Each line lives only in its home bank — never aliased elsewhere.
+  for (Addr i = 0; i < lines; i += 37) {
+    const Addr addr = i * BankEnsemble::kLine;
+    for (std::size_t b = 0; b < BankEnsemble::kBanks; ++b) {
+      EXPECT_EQ(e.duts[b].probe(addr), b == BankEnsemble::bank_of(addr))
+          << "line " << i << " bank " << b;
+    }
+  }
+}
+
+TEST(CacheMultiBank, RandomisedEnsembleAgreementAndIsolation) {
+  // Small banks (2 KB) so random traffic creates real per-bank eviction
+  // pressure; a set-index bug that mixes bank bits into the set (or vice
+  // versa) diverges from the per-bank reference immediately.
+  BankEnsemble e(2 * 1024);
+  Rng rng(0xBA2C);
+  const Addr pool = 32 * 2 * 1024 * 3;
+
+  for (int step = 0; step < 30000; ++step) {
+    const Addr addr = rng.next_below(pool) & ~static_cast<Addr>(31);
+    const std::size_t b = BankEnsemble::bank_of(addr);
+    const int op = static_cast<int>(rng.next_below(100));
+    if (op < 50) {
+      const bool w = rng.next_bool(0.3);
+      ASSERT_EQ(e.duts[b].lookup(addr, w).hit, e.refs[b].lookup(addr, w))
+          << "step " << step << " bank " << b;
+    } else if (op < 97) {
+      const bool dirty = rng.next_bool(0.25);
+      const InsertResult di = e.duts[b].insert(addr, dirty);
+      const auto ri = e.refs[b].insert(addr, dirty);
+      ASSERT_EQ(di.evicted, ri.has_value()) << "step " << step << " bank " << b;
+      if (ri.has_value()) {
+        ASSERT_EQ(di.evicted_line_addr, ri->first) << "step " << step;
+        ASSERT_EQ(di.evicted_dirty, ri->second) << "step " << step;
+        // An eviction never crosses banks: the victim belongs here too.
+        ASSERT_EQ(BankEnsemble::bank_of(di.evicted_line_addr), b) << "step " << step;
+      }
+    } else {
+      // Flush one bank (the power-gating path) — neighbours keep their state.
+      std::vector<Addr> dd = e.duts[b].flush();
+      std::sort(dd.begin(), dd.end());
+      ASSERT_EQ(dd, e.refs[b].flush()) << "step " << step << " bank " << b;
+    }
+  }
+  for (std::size_t b = 0; b < BankEnsemble::kBanks; ++b) {
+    EXPECT_EQ(e.duts[b].valid_lines(), e.refs[b].valid_lines()) << "bank " << b;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Geometries, CacheDifferential,
     ::testing::Values(Geometry{4 * 1024, 32, 4, 0},    // the paper's L1

@@ -1,0 +1,117 @@
+// Energy-conservation property tests: the EnergyLedger a run reports must
+// be exactly the sum of its per-component contributions — cores (McPAT-lite
+// terms over per-core stats), L1, L2, interconnect (MoT or NoC) and DRAM —
+// and the derived metrics (EDP, average power) must be consistent with the
+// ledger.  Checked under both schedulers: energy is one of the modeled
+// quantities the event-driven loop must reproduce bit-for-bit.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "power/core_power.hpp"
+
+namespace mot3d::cluster {
+namespace {
+
+ClusterConfig small_cfg(Fabric fabric, const core::PowerState& state,
+                        SchedulerMode scheduler) {
+  ClusterConfig cfg = make_paper_config(workload::profile_by_name("fft"), fabric,
+                                        state, mem::DramPreset::kDdr3_200ns,
+                                        /*scale=*/0.01, /*seed=*/42);
+  cfg.scheduler = scheduler;
+  return cfg;
+}
+
+void check_conservation(const ClusterConfig& cfg) {
+  Cluster cluster(cfg);
+  const SimResult r = cluster.run();
+  const power::EnergyLedger& e = r.energy;
+
+  using power::Component;
+
+  // Every EDP component of a live cluster is exercised: cores commit
+  // instructions, L1s are looked up, the L2 and the transport carry misses,
+  // and powered components leak.
+  EXPECT_GT(e.dynamic_pj(Component::kCore), 0.0);
+  EXPECT_GT(e.static_pj(Component::kCore), 0.0);
+  EXPECT_GT(e.dynamic_pj(Component::kL1), 0.0);
+  EXPECT_GT(e.dynamic_pj(Component::kL2), 0.0);
+  EXPECT_GT(e.static_pj(Component::kL2), 0.0);
+  EXPECT_GT(e.dynamic_pj(Component::kInterconnect), 0.0);
+  EXPECT_GT(e.static_pj(Component::kInterconnect), 0.0);
+  EXPECT_GT(e.dynamic_pj(Component::kDram), 0.0);
+
+  // Totals are exactly the per-component sums (no hidden or double-counted
+  // energy), and the EDP total excludes DRAM per the paper's metric.
+  const double edp_sum =
+      e.component_pj(Component::kCore) + e.component_pj(Component::kL1) +
+      e.component_pj(Component::kL2) + e.component_pj(Component::kInterconnect);
+  EXPECT_DOUBLE_EQ(e.edp_energy_pj(), edp_sum);
+  EXPECT_DOUBLE_EQ(e.total_pj(), e.edp_energy_pj() + e.component_pj(Component::kDram));
+
+  // Cross-check the ledger against each component's own accounting.
+  EXPECT_DOUBLE_EQ(e.dynamic_pj(Component::kL2), r.l2.dynamic_energy_pj);
+  EXPECT_DOUBLE_EQ(e.dynamic_pj(Component::kDram), r.dram.dynamic_energy_pj);
+
+  // Core + L1 contributions recomputed from per-core stats with the same
+  // McPAT-lite model, in the same per-core accumulation order.
+  const power::CorePowerModel core_model(cfg.core_power);
+  double core_dynamic = 0.0, core_static = 0.0;
+  for (const cpu::CoreStats& c : r.cores) {
+    core_dynamic += static_cast<double>(c.instructions) *
+                    cfg.core_power.energy_per_instr_pj;
+    core_dynamic += core_model.spin_pj(c.spin_cycles);
+    core_static += core_model.static_pj(r.cycles);
+  }
+  EXPECT_DOUBLE_EQ(e.dynamic_pj(Component::kCore), core_dynamic);
+  EXPECT_DOUBLE_EQ(e.static_pj(Component::kCore), core_static);
+
+  // Derived metrics are pure functions of the ledger and the cycle count.
+  EXPECT_DOUBLE_EQ(r.edp_pj_s,
+                   e.edp_energy_pj() * static_cast<double>(r.cycles) * 1e-9);
+  EXPECT_DOUBLE_EQ(r.avg_power_w, e.edp_energy_pj() * 1e-12 /
+                                      (static_cast<double>(r.cycles) * 1e-9));
+}
+
+TEST(EnergyConservation, MotFullBothSchedulers) {
+  check_conservation(small_cfg(Fabric::kMot, core::PowerState::full(),
+                               SchedulerMode::kEventDriven));
+  check_conservation(small_cfg(Fabric::kMot, core::PowerState::full(),
+                               SchedulerMode::kDenseTick));
+}
+
+TEST(EnergyConservation, MotGatedBothSchedulers) {
+  check_conservation(small_cfg(Fabric::kMot, core::PowerState::pc4_mb8(),
+                               SchedulerMode::kEventDriven));
+  check_conservation(small_cfg(Fabric::kMot, core::PowerState::pc4_mb8(),
+                               SchedulerMode::kDenseTick));
+}
+
+TEST(EnergyConservation, NocFabricBothSchedulers) {
+  check_conservation(small_cfg(Fabric::kTrueMesh3d, core::PowerState::full(),
+                               SchedulerMode::kEventDriven));
+  check_conservation(small_cfg(Fabric::kTrueMesh3d, core::PowerState::full(),
+                               SchedulerMode::kDenseTick));
+}
+
+TEST(EnergyConservation, SchedulersProduceIdenticalLedgers) {
+  const SimResult dense =
+      Cluster(small_cfg(Fabric::kMot, core::PowerState::pc16_mb8(),
+                        SchedulerMode::kDenseTick))
+          .run();
+  const SimResult event =
+      Cluster(small_cfg(Fabric::kMot, core::PowerState::pc16_mb8(),
+                        SchedulerMode::kEventDriven))
+          .run();
+  for (power::Component c :
+       {power::Component::kCore, power::Component::kL1, power::Component::kL2,
+        power::Component::kInterconnect, power::Component::kDram}) {
+    EXPECT_DOUBLE_EQ(dense.energy.dynamic_pj(c), event.energy.dynamic_pj(c))
+        << power::component_name(c);
+    EXPECT_DOUBLE_EQ(dense.energy.static_pj(c), event.energy.static_pj(c))
+        << power::component_name(c);
+  }
+  EXPECT_DOUBLE_EQ(dense.energy.total_pj(), event.energy.total_pj());
+}
+
+}  // namespace
+}  // namespace mot3d::cluster

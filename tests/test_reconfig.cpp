@@ -123,5 +123,92 @@ TEST_F(ReconfigTest, RoundTripPreservesOperation) {
   EXPECT_EQ(icn.state_timing().l2_round_trip(), 12u);
 }
 
+// ---- power-state transition round-trips ------------------------------------
+
+/// Table I latency of each paper state, by name.
+unsigned expected_round_trip(const std::string& state) {
+  if (state == "Full") return 12;
+  if (state == "PC4-MB8") return 7;
+  return 9;  // PC16-MB8 and PC4-MB32
+}
+
+TEST_F(ReconfigTest, EveryOrderedStatePairKeepsMasksAndTimingConsistent) {
+  l2.set_response_injector([](const MemResponse&, Cycle) { return true; });
+  const auto& states = PowerState::paper_states();
+  for (const PowerState& from : states) {
+    for (const PowerState& to : states) {
+      mgr.apply(from, now);
+      now += 100;
+      const ReconfigCost cost = mgr.apply(to, now);
+      now += 100;
+
+      // The fabric and the L2 must agree on the new state after EVERY
+      // transition, regardless of history.
+      EXPECT_EQ(icn.state().name(), to.name()) << from.name() << " -> " << to.name();
+      EXPECT_EQ(l2.num_active_banks(), to.active_banks())
+          << from.name() << " -> " << to.name();
+      EXPECT_EQ(icn.state_timing().l2_round_trip(), expected_round_trip(to.name()))
+          << from.name() << " -> " << to.name();
+      const std::vector<bool> mask = to.bank_mask();
+      for (BankId b = 0; b < 32; ++b) {
+        EXPECT_EQ(l2.active_banks()[b], mask[b])
+            << from.name() << " -> " << to.name() << " bank " << b;
+      }
+      // Nothing was dirty, so no transition may write anything back.
+      EXPECT_EQ(cost.dirty_lines_flushed, 0u)
+          << from.name() << " -> " << to.name();
+    }
+  }
+}
+
+TEST_F(ReconfigTest, RoundTripThroughEveryStateRestoresFullExactly) {
+  l2.set_response_injector([](const MemResponse&, Cycle) { return true; });
+  for (const PowerState& s : PowerState::paper_states()) {
+    mgr.apply(s, now);
+    now += 100;
+    mgr.apply(PowerState::full(), now);
+    now += 100;
+    EXPECT_EQ(icn.state().name(), "Full") << "via " << s.name();
+    EXPECT_EQ(l2.num_active_banks(), 32u) << "via " << s.name();
+    EXPECT_EQ(icn.state_timing().l2_round_trip(), 12u) << "via " << s.name();
+    // Conventional (identity) routing restored on every tree.
+    for (BankId b : {0u, 7u, 15u, 31u}) {
+      EXPECT_EQ(icn.route(b), b) << "via " << s.name();
+    }
+  }
+}
+
+TEST_F(ReconfigTest, FlushHappensOnlyWhenDirtyBanksTurnOff) {
+  l2.set_response_injector([](const MemResponse&, Cycle) { return true; });
+  dirty_lines(0, 3);  // bank 0: outside every gated centre group
+  // PC4-MB32 keeps all 32 banks — gating cores must not flush any cache.
+  EXPECT_EQ(mgr.estimate(PowerState::pc4_mb32()).dirty_lines_flushed, 0u);
+  // Both 8-bank states gate bank 0 — its dirty lines must go back to DRAM.
+  EXPECT_EQ(mgr.estimate(PowerState::pc16_mb8()).dirty_lines_flushed, 3u);
+  EXPECT_EQ(mgr.estimate(PowerState::pc4_mb8()).dirty_lines_flushed, 3u);
+
+  // After actually gating, survivors in the centre group keep their data
+  // and a same-mask transition (PC16-MB8 -> PC4-MB8) flushes nothing.
+  dirty_lines(15, 2);  // centre group 12..19 survives both 8-bank states
+  mgr.apply(PowerState::pc16_mb8(), now);
+  now += 2000;
+  EXPECT_EQ(l2.dirty_lines(15), 2u);
+  const ReconfigCost cost = mgr.apply(PowerState::pc4_mb8(), now);
+  EXPECT_EQ(cost.dirty_lines_flushed, 0u);
+  EXPECT_EQ(l2.dirty_lines(15), 2u);
+}
+
+TEST_F(ReconfigTest, DirtySurvivorsPersistAcrossFullRoundTrip) {
+  l2.set_response_injector([](const MemResponse&, Cycle) { return true; });
+  dirty_lines(15, 4);  // centre bank: survives PC16-MB8
+  mgr.apply(PowerState::pc16_mb8(), now);
+  now += 2000;
+  mgr.apply(PowerState::full(), now);
+  now += 2000;
+  // Waking banks up neither flushes nor invalidates the survivors.
+  EXPECT_EQ(l2.dirty_lines(15), 4u);
+  EXPECT_EQ(l2.num_active_banks(), 32u);
+}
+
 }  // namespace
 }  // namespace mot3d::core

@@ -1,0 +1,185 @@
+// Property tests for the synthetic workload generators, cross-checked over
+// ALL eight SPLASH-2 profiles (test_workload.cpp probes individual apps;
+// here every invariant must hold for every profile):
+//  * full determinism of the trace stream in (profile, threads, scale, seed)
+//    and sensitivity to the seed;
+//  * the PhasePlan is a pure function of (profile, scale) — independent of
+//    thread count and seed — and conserves the scaled instruction budget;
+//  * the Amdahl structure: the serial share of every plan tracks the
+//    profile's serial_fraction;
+//  * barrier-count invariants: every thread of every profile emits exactly
+//    the plan's barriers, in order, once each.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/trace.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace mot3d::workload {
+namespace {
+
+using cpu::TraceKind;
+using cpu::TraceRecord;
+
+bool same_record(const TraceRecord& a, const TraceRecord& b) {
+  return a.kind == b.kind && a.addr == b.addr &&
+         a.compute_cycles == b.compute_cycles && a.barrier_id == b.barrier_id &&
+         a.op == b.op;
+}
+
+/// Drain a trace to kEnd, recording instructions and the barrier sequence.
+struct Drained {
+  std::uint64_t instructions = 0;
+  std::vector<std::uint32_t> barriers;
+  bool terminated = false;
+};
+
+Drained drain(cpu::TraceSource& src, std::size_t limit = 5'000'000) {
+  Drained d;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const TraceRecord r = src.next();
+    switch (r.kind) {
+      case TraceKind::kEnd:
+        d.terminated = true;
+        return d;
+      case TraceKind::kCompute:
+        d.instructions += r.compute_cycles;
+        break;
+      case TraceKind::kBarrier:
+        d.barriers.push_back(r.barrier_id);
+        break;
+      case TraceKind::kMem:
+        if (r.op != MemOp::kInstrFetch) ++d.instructions;
+        break;
+    }
+  }
+  return d;
+}
+
+TEST(WorkloadProperties, TraceDeterministicForEveryProfile) {
+  for (const AppProfile& app : splash2_profiles()) {
+    Workload w1(app, 4, 0.02, 91);
+    Workload w2(app, 4, 0.02, 91);
+    for (std::size_t t = 0; t < 4; ++t) {
+      auto a = w1.make_trace(t);
+      auto b = w2.make_trace(t);
+      for (int i = 0; i < 20000; ++i) {
+        const TraceRecord ra = a->next();
+        const TraceRecord rb = b->next();
+        ASSERT_TRUE(same_record(ra, rb))
+            << app.name << " thread " << t << " record " << i;
+        if (ra.kind == TraceKind::kEnd) break;
+      }
+    }
+  }
+}
+
+TEST(WorkloadProperties, SeedChangesEveryProfilesStream) {
+  for (const AppProfile& app : splash2_profiles()) {
+    Workload w1(app, 4, 0.02, 91);
+    Workload w2(app, 4, 0.02, 92);
+    auto a = w1.make_trace(1);
+    auto b = w2.make_trace(1);
+    int diffs = 0;
+    for (int i = 0; i < 2000; ++i) {
+      if (!same_record(a->next(), b->next())) ++diffs;
+    }
+    EXPECT_GT(diffs, 50) << app.name;
+  }
+}
+
+TEST(WorkloadProperties, PhasePlanIndependentOfThreadsAndSeed) {
+  for (const AppProfile& app : splash2_profiles()) {
+    const PhasePlan reference = PhasePlan::build(app, 0.1);
+    for (std::size_t threads : {1u, 4u, 16u}) {
+      for (std::uint64_t seed : {1ull, 42ull}) {
+        const Workload w(app, threads, 0.1, seed);
+        const PhasePlan& plan = w.plan();
+        ASSERT_EQ(plan.phases.size(), reference.phases.size()) << app.name;
+        ASSERT_EQ(plan.num_barriers, reference.num_barriers) << app.name;
+        for (std::size_t i = 0; i < plan.phases.size(); ++i) {
+          EXPECT_EQ(plan.phases[i].serial, reference.phases[i].serial) << app.name;
+          EXPECT_EQ(plan.phases[i].instructions, reference.phases[i].instructions)
+              << app.name;
+          EXPECT_EQ(plan.phases[i].barrier_id, reference.phases[i].barrier_id)
+              << app.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(WorkloadProperties, PlanConservesScaledWorkForEveryProfile) {
+  for (const AppProfile& app : splash2_profiles()) {
+    for (double scale : {0.05, 0.25, 1.0}) {
+      const PhasePlan plan = PhasePlan::build(app, scale);
+      std::uint64_t total = 0;
+      for (const auto& ph : plan.phases) total += ph.instructions;
+      const double expected = static_cast<double>(app.work_instructions) * scale;
+      EXPECT_NEAR(static_cast<double>(total), expected, expected * 0.01)
+          << app.name << " scale " << scale;
+    }
+  }
+}
+
+TEST(WorkloadProperties, AmdahlSerialShareTracksProfileForEveryProfile) {
+  for (const AppProfile& app : splash2_profiles()) {
+    const PhasePlan plan = PhasePlan::build(app, 0.1);
+    std::uint64_t serial = 0, total = 0;
+    for (const auto& ph : plan.phases) {
+      total += ph.instructions;
+      if (ph.serial) serial += ph.instructions;
+    }
+    ASSERT_GT(total, 0u) << app.name;
+    const double share = static_cast<double>(serial) / static_cast<double>(total);
+    EXPECT_NEAR(share, app.serial_fraction, 0.02) << app.name;
+    // The scalability predicate must agree with the realised plan: the
+    // paper's scalable group has a small serial share, the limited group a
+    // visible one (this is what Fig. 7(b)'s 4 -> 16 core gap rests on).
+    if (app.scalable()) {
+      EXPECT_LT(share, 0.15) << app.name;
+    } else {
+      EXPECT_GT(share, 0.10) << app.name;
+    }
+  }
+}
+
+TEST(WorkloadProperties, EveryThreadEmitsEveryBarrierOnceInOrder) {
+  for (const AppProfile& app : splash2_profiles()) {
+    const std::size_t threads = 4;
+    Workload w(app, threads, 0.01, 7);
+    for (std::size_t t = 0; t < threads; ++t) {
+      auto trace = w.make_trace(t);
+      const Drained d = drain(*trace);
+      ASSERT_TRUE(d.terminated) << app.name << " thread " << t;
+      ASSERT_EQ(d.barriers.size(), w.plan().num_barriers)
+          << app.name << " thread " << t;
+      for (std::uint32_t i = 0; i < d.barriers.size(); ++i) {
+        ASSERT_EQ(d.barriers[i], i) << app.name << " thread " << t;
+      }
+      // After kEnd the stream stays ended (cores poll it when draining).
+      EXPECT_EQ(static_cast<int>(trace->next().kind),
+                static_cast<int>(TraceKind::kEnd))
+          << app.name;
+    }
+  }
+}
+
+TEST(WorkloadProperties, BarrierCountMatchesPlanPhaseCount) {
+  for (const AppProfile& app : splash2_profiles()) {
+    for (double scale : {0.02, 0.2}) {
+      const PhasePlan plan = PhasePlan::build(app, scale);
+      EXPECT_EQ(plan.num_barriers, plan.phases.size()) << app.name;
+      // Barrier ids label the phases 0..N-1 in order.
+      for (std::size_t i = 0; i < plan.phases.size(); ++i) {
+        EXPECT_EQ(plan.phases[i].barrier_id, static_cast<std::uint32_t>(i))
+            << app.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mot3d::workload
