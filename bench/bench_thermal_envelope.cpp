@@ -1,0 +1,7 @@
+// Thermal envelope sweep: stack temperatures, governor throttling and
+// leakage feedback across ambient x ceiling x fabric (see src/thermal/).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return mot3d::bench::scenario_main("thermal_envelope", argc, argv);
+}

@@ -26,6 +26,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/table.hpp"
 #include "harness.hpp"
@@ -51,14 +52,25 @@ void print_cli_usage(std::ostream& os) {
      << "update-golden: --dir=<path> (default: " MOT3D_SOURCE_DIR "/tests/golden)\n";
 }
 
-std::vector<std::string> split_csv(const std::string& v) {
+std::vector<std::string> split_csv(const std::string& flag, const std::string& v) {
   std::vector<std::string> out;
   std::stringstream ss(v);
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (!item.empty()) out.push_back(item);
   }
+  // "--apps=" or "--apps=,," must fail loudly, not silently mean "all".
+  if (out.empty()) {
+    throw std::invalid_argument("empty value in '" + flag +
+                                "' (give a comma-separated list)");
+  }
   return out;
+}
+
+void list_registered_names(std::ostream& os) {
+  os << "registered scenarios:";
+  for (const sim::ScenarioSpec& s : sim::all_scenarios()) os << " " << s.name;
+  os << "\n";
 }
 
 int cmd_list() {
@@ -105,13 +117,13 @@ CliArgs parse_cli(int argc, char** argv, int first, const CliFlagSet& allow) {
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (allow.axes && arg.rfind("--apps=", 0) == 0) {
-      out.apps = split_csv(arg.substr(7));
+      out.apps = split_csv(arg, arg.substr(7));
     } else if (allow.axes && arg.rfind("--fabrics=", 0) == 0) {
-      out.fabrics = split_csv(arg.substr(10));
+      out.fabrics = split_csv(arg, arg.substr(10));
     } else if (allow.axes && arg.rfind("--states=", 0) == 0) {
-      out.states = split_csv(arg.substr(9));
+      out.states = split_csv(arg, arg.substr(9));
     } else if (allow.axes && arg.rfind("--dram=", 0) == 0) {
-      out.dram = split_csv(arg.substr(7));
+      out.dram = split_csv(arg, arg.substr(7));
     } else if (allow.dir && arg.rfind("--dir=", 0) == 0) {
       out.golden_dir = arg.substr(6);
     } else if (allow.golden && arg == "--golden") {
@@ -150,12 +162,17 @@ int cmd_run(const CliArgs& cli) {
       }
     }
   }
+  // Validate every name up front: a typo in the third scenario must not
+  // waste the first two runs before failing.
   for (const std::string& name : cli.names) {
-    const sim::ScenarioSpec* spec = sim::find_scenario(name);
-    if (spec == nullptr) {
+    if (sim::find_scenario(name) == nullptr) {
       std::cerr << "error: scenario '" << name << "' is not registered\n";
+      list_registered_names(std::cerr);
       return 2;
     }
+  }
+  for (const std::string& name : cli.names) {
+    const sim::ScenarioSpec* spec = sim::find_scenario(name);
     sim::ScenarioOptions opt =
         bench::to_scenario_options(parse_bench_flags(cli, spec->default_scale));
     if (cli.use_golden_options) {
@@ -183,8 +200,17 @@ int cmd_grid(const CliArgs& cli) {
   spec.description = "ad-hoc grid from the command line";
   spec.has_golden = false;
   spec.apps = cli.apps.empty() ? workload::splash2_names() : cli.apps;
+  for (const std::string& a : spec.apps) {
+    try {
+      (void)workload::profile_by_name(a);
+    } catch (const std::out_of_range&) {
+      std::cerr << "error: unknown app '" << a << "' in --apps (want:";
+      for (const std::string& n : workload::splash2_names()) std::cerr << " " << n;
+      std::cerr << ")\n";
+      return 2;
+    }
+  }
   try {
-    for (const std::string& a : spec.apps) (void)workload::profile_by_name(a);
     if (cli.fabrics.empty()) {
       spec.fabrics = {cluster::Fabric::kMot};
     } else {
@@ -206,9 +232,6 @@ int cmd_grid(const CliArgs& cli) {
         spec.dram_presets.push_back(sim::dram_preset_by_key(d));
       }
     }
-  } catch (const std::out_of_range&) {
-    std::cerr << "error: unknown app in --apps (want SPLASH-2 names)\n";
-    return 2;
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -270,10 +293,16 @@ int main(int argc, char** argv) {
     print_cli_usage(std::cout);
     return 0;
   }
-  if (cmd == "run") return cmd_run(parse_cli(argc, argv, 2, {.golden = true}));
-  if (cmd == "grid") return cmd_grid(parse_cli(argc, argv, 2, {.axes = true}));
-  if (cmd == "update-golden") {
-    return cmd_update_golden(parse_cli(argc, argv, 2, {.dir = true}));
+  try {
+    if (cmd == "run") return cmd_run(parse_cli(argc, argv, 2, {.golden = true}));
+    if (cmd == "grid") return cmd_grid(parse_cli(argc, argv, 2, {.axes = true}));
+    if (cmd == "update-golden") {
+      return cmd_update_golden(parse_cli(argc, argv, 2, {.dir = true}));
+    }
+  } catch (const std::invalid_argument& e) {
+    // Malformed CLI-level flag values (e.g. an empty axis list).
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
   std::cerr << "error: unknown command '" << cmd << "'\n";
   print_cli_usage(std::cerr);

@@ -69,4 +69,32 @@ StateRecommendation recommend_power_state(const SimResult& profile,
   return rec;
 }
 
+StateRecommendation recommend_power_state_thermal(
+    const SimResult& profile, AdvisorThresholds thresholds,
+    ThermalAdvisorThresholds thermal_thresholds) {
+  StateRecommendation rec = recommend_power_state(profile, thresholds);
+  const thermal::ThermalSummary& t = profile.thermal;
+  if (!t.enabled) return rec;
+
+  const double throttled =
+      profile.cycles == 0
+          ? 0.0
+          : static_cast<double>(t.throttled_cycles) /
+                static_cast<double>(profile.cycles);
+  const bool limited = t.throttle_events > 0 ||
+                       throttled > thermal_thresholds.throttled_fraction_limit ||
+                       t.peak_c >= t.ceiling_c;
+  if (!limited || rec.gate_banks) return rec;
+
+  rec.gate_banks = true;
+  rec.state = rec.gate_cores ? core::PowerState::pc4_mb8()
+                             : core::PowerState::pc16_mb8();
+  std::ostringstream why;
+  why << rec.rationale << "; thermal: peak " << t.peak_c << "C vs ceiling "
+      << t.ceiling_c << "C with " << t.throttle_events
+      << " throttle events — gate banks for headroom despite the footprint";
+  rec.rationale = why.str();
+  return rec;
+}
+
 }  // namespace mot3d::cluster

@@ -65,4 +65,20 @@ inline StateRecommendation recommend_power_state(const SimResult& profile,
   return recommend_power_state(profile, profile.l2_resident_lines, 32, thresholds);
 }
 
+struct ThermalAdvisorThresholds {
+  /// Fraction of the profiling run spent with cores held by the thermal
+  /// governor above which the workload is considered thermally limited.
+  double throttled_fraction_limit = 0.02;
+};
+
+/// Thermal-aware layer over recommend_power_state: when the profiling run
+/// carried a thermal summary (SimResult::thermal) showing throttling or a
+/// ceiling violation, the bank side of the recommendation is demoted —
+/// gating 24 banks removes their leakage *and* shrinks the hot TSV field,
+/// which buys thermal headroom even when the footprint guard alone would
+/// have kept the capacity.  Performance advice defers to the envelope.
+StateRecommendation recommend_power_state_thermal(
+    const SimResult& profile, AdvisorThresholds thresholds = {},
+    ThermalAdvisorThresholds thermal_thresholds = {});
+
 }  // namespace mot3d::cluster

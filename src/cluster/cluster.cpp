@@ -119,17 +119,43 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     }
     active_cores_.push_back(c);
   }
+
+  // ---- thermal subsystem (opt-in; inert otherwise) ----
+  if (cfg_.thermal.enabled) {
+    thermal_ = std::make_unique<thermal::ThermalModel>(cfg_.thermal,
+                                                       cfg_.floorplan, cfg_.tech);
+    thermal::GovernorConfig gc;
+    gc.ceiling_c = cfg_.thermal.ceiling_c;
+    gc.hysteresis_c = cfg_.thermal.hysteresis_c;
+    gc.allow_bank_gating = cfg_.fabric == Fabric::kMot;
+    gc.min_banks = cfg_.thermal.governor_min_banks;
+    gc.max_hold_intervals = cfg_.thermal.governor_max_hold_intervals;
+    governor_ = std::make_unique<thermal::ThermalGovernor>(gc, cfg_.power_state);
+    if (mot_ != nullptr) {
+      reconfig_ = std::make_unique<core::ReconfigManager>(*mot_, *l2_, *dram_);
+    }
+    prev_core_instr_.assign(cfg_.total_cores, 0);
+    prev_core_spin_.assign(cfg_.total_cores, 0);
+    prev_core_l1_.assign(cfg_.total_cores, 0);
+    prev_bank_accesses_.assign(cfg_.total_banks, 0);
+    next_thermal_cycle_ = cfg_.thermal.sample_interval_cycles;
+  }
 }
 
 Cluster::~Cluster() = default;
 
 void Cluster::tick_once() {
-  for (CoreId c : active_cores_) cores_[c]->tick(now_);
-  for (CoreId c : active_cores_) {
-    cpu::Core& core = *cores_[c];
-    if (core.pending_request().has_value() &&
-        interconnect_->try_inject_request(*core.pending_request(), now_)) {
-      core.injection_accepted(now_);
+  // Frozen cores are clock-held: no tick, no injection retry.  They are
+  // also excluded from event-mode skip accounting, so both schedulers see
+  // identical (frozen) core statistics.
+  if (!cores_frozen_) {
+    for (CoreId c : active_cores_) cores_[c]->tick(now_);
+    for (CoreId c : active_cores_) {
+      cpu::Core& core = *cores_[c];
+      if (core.pending_request().has_value() &&
+          interconnect_->try_inject_request(*core.pending_request(), now_)) {
+        core.injection_accepted(now_);
+      }
     }
   }
   interconnect_->tick(now_);
@@ -144,12 +170,14 @@ void Cluster::tick_once() {
 // are evaluated just-in-time because earlier phases of the same cycle may
 // stimulate later components (core -> interconnect -> L2 -> DRAM).
 void Cluster::tick_once_event() {
-  for (CoreId c : active_cores_) cores_[c]->tick(now_);
-  for (CoreId c : active_cores_) {
-    cpu::Core& core = *cores_[c];
-    if (core.pending_request().has_value() &&
-        interconnect_->try_inject_request(*core.pending_request(), now_)) {
-      core.injection_accepted(now_);
+  if (!cores_frozen_) {
+    for (CoreId c : active_cores_) cores_[c]->tick(now_);
+    for (CoreId c : active_cores_) {
+      cpu::Core& core = *cores_[c];
+      if (core.pending_request().has_value() &&
+          interconnect_->try_inject_request(*core.pending_request(), now_)) {
+        core.injection_accepted(now_);
+      }
     }
   }
   if (interconnect_->next_event(now_) <= now_) interconnect_->tick(now_);
@@ -160,9 +188,19 @@ void Cluster::tick_once_event() {
 
 Cycle Cluster::next_event_cycle() const {
   Cycle next = kNeverCycle;
-  for (CoreId c : active_cores_) {
-    next = std::min(next, cores_[c]->next_event(now_));
-    if (next <= now_) return now_;
+  // Thermal boundaries and the post-reconfiguration unfreeze point are
+  // events: the jump must land on them exactly, as the dense loop does.
+  if (thermal_ != nullptr) {
+    next = std::min(next, next_thermal_cycle_);
+    if (cores_frozen_ && frozen_until_ > now_) {
+      next = std::min(next, frozen_until_);
+    }
+  }
+  if (!cores_frozen_) {
+    for (CoreId c : active_cores_) {
+      next = std::min(next, cores_[c]->next_event(now_));
+      if (next <= now_) return now_;
+    }
   }
   next = std::min(next, interconnect_->next_event(now_));
   if (next <= now_) return now_;
@@ -191,8 +229,10 @@ SimResult Cluster::run() {
       if (now_ >= cfg_.max_cycles) {
         throw std::runtime_error("simulation exceeded max_cycles — livelock?");
       }
+      thermal_poll();
       tick_once();
     }
+    thermal_finalize();
     return collect_result();
   }
 
@@ -203,6 +243,7 @@ SimResult Cluster::run() {
     if (now_ >= cfg_.max_cycles) {
       throw std::runtime_error("simulation exceeded max_cycles — livelock?");
     }
+    thermal_poll();
     const Cycle next = next_event_cycle();
     if (next > now_) {
       if (next == kNeverCycle) {
@@ -211,13 +252,198 @@ SimResult Cluster::run() {
             "not finished");
       }
       const Cycle target = std::min(next, cfg_.max_cycles);
-      for (CoreId c : active_cores_) cores_[c]->skip(now_, target);
+      if (!cores_frozen_) {
+        for (CoreId c : active_cores_) cores_[c]->skip(now_, target);
+      }
       now_ = target;
       continue;
     }
     tick_once_event();
   }
+  thermal_finalize();
   return collect_result();
+}
+
+void Cluster::set_frozen(bool frozen) {
+  if (frozen == cores_frozen_) return;
+  cores_frozen_ = frozen;
+  if (frozen) {
+    freeze_begin_ = now_;
+  } else {
+    throttled_cycles_ += now_ - freeze_begin_;
+  }
+}
+
+void Cluster::try_complete_drain() {
+  // A pending reconfiguration drain completes once the transport is
+  // quiescent; apply it and pay the ctr reprogramming delay frozen.
+  if (draining_ && interconnect_->idle() && l2_->idle() && dram_->idle()) {
+    const core::ReconfigCost cost = reconfig_->apply(*drain_target_, now_);
+    governor_flush_pj_ += cost.flush_energy_pj;
+    frozen_until_ = now_ + cost.reprogram_cycles;
+    draining_ = false;
+    drain_target_.reset();
+  }
+}
+
+void Cluster::thermal_poll() {
+  if (thermal_ == nullptr) return;
+
+  // 1) Mid-interval drain completion (the component tick that emptied the
+  //    transport is an event, so both schedulers poll the cycle after it).
+  try_complete_drain();
+
+  // 2) Sampling boundary: close the interval's power books, step the RC
+  //    model, let the governor react.
+  if (now_ == next_thermal_cycle_) {
+    thermal_sample_interval();
+    if (!draining_) {
+      const thermal::GovernorDecision d = governor_->decide(thermal_->peak_c());
+      if (d.reconfigure.has_value() && reconfig_ != nullptr &&
+          !(*d.reconfigure == mot_->state())) {
+        draining_ = true;
+        drain_target_ = d.reconfigure;
+      }
+      governor_hold_ = d.hold_cores;
+    }
+    // If the transport happens to be idle at the decision boundary the
+    // drain is already complete: apply it *now*, in the poll itself.
+    // Waiting for a later poll would desynchronise the schedulers — the
+    // event loop sees no component events while everything is idle and
+    // would only look again at the next sampling boundary.
+    try_complete_drain();
+    next_thermal_cycle_ = now_ + cfg_.thermal.sample_interval_cycles;
+  }
+
+  // 3) Cores are clock-held while draining, while the governor demands a
+  //    hold, and through the reprogramming delay after a reconfiguration.
+  set_frozen(draining_ || governor_hold_ || now_ < frozen_until_);
+}
+
+void Cluster::thermal_sample_interval() {
+  const Cycle interval = now_ - last_thermal_cycle_;
+  if (interval > 0) {
+    power::EnergyLedger snap;
+    accumulate_dynamic_energy(snap);
+    const power::EnergySample delta = snap.delta_since(thermal_prev_snap_);
+    thermal_prev_snap_ = snap;
+    thermal_->advance(thermal_build_sources(delta, interval), interval);
+    // The clock tree is switching power, flat in temperature, and it
+    // stops toggling while the cores are clock-held — charge it only for
+    // the interval's unheld cycles (leakage keeps running either way).
+    const std::uint64_t frozen_total =
+        throttled_cycles_ + (cores_frozen_ ? now_ - freeze_begin_ : 0);
+    const std::uint64_t frozen_in_interval = frozen_total - frozen_at_last_sample_;
+    frozen_at_last_sample_ = frozen_total;
+    clock_tree_pj_ += static_cast<double>(active_cores_.size()) *
+                      cfg_.core_power.clock_tree_mw *
+                      static_cast<double>(interval - frozen_in_interval);
+  }
+  last_thermal_cycle_ = now_;
+}
+
+thermal::ThermalSources Cluster::thermal_build_sources(
+    const power::EnergySample& delta, Cycle interval) {
+  const thermal::ThermalFloorplan& flp = thermal_->floorplan();
+  thermal::ThermalSources src = thermal_->make_sources();
+  const power::CorePowerModel core_model(cfg_.core_power);
+  // pJ over `interval` 1 ns cycles -> watts.
+  const double pj_to_w = 1e-3 / static_cast<double>(interval);
+
+  // Cores: per-core dynamic energy from per-core counter deltas (finer
+  // placement than the component ledger gives); leakage at reference
+  // temperature — the model's fixed point applies the temperature law.
+  for (CoreId c : active_cores_) {
+    const cpu::CoreStats& st = cores_[c]->stats();
+    const std::uint64_t d_instr = st.instructions - prev_core_instr_[c];
+    const std::uint64_t d_spin = st.spin_cycles - prev_core_spin_[c];
+    const std::uint64_t d_l1 = cores_[c]->l1_accesses() - prev_core_l1_[c];
+    prev_core_instr_[c] = st.instructions;
+    prev_core_spin_[c] = st.spin_cycles;
+    prev_core_l1_[c] = cores_[c]->l1_accesses();
+    const double pj =
+        static_cast<double>(d_instr) * cfg_.core_power.energy_per_instr_pj +
+        core_model.spin_pj(d_spin) +
+        static_cast<double>(d_l1) * cfg_.core_power.energy_per_l1_access_pj;
+    const std::size_t tile = flp.core_tile(c);
+    src.dynamic_w[tile] += pj * pj_to_w;
+    src.core_leak_ref_w[tile] += cfg_.core_power.leakage_mw * 1e-3;
+  }
+
+  // L2: the ledger's component delta, distributed over banks in proportion
+  // to each bank's access-count delta (a bank gated mid-interval still
+  // owns the heat it produced); equal split over powered banks when idle.
+  const std::vector<bool>& banks_on = l2_->active_banks();
+  std::vector<std::uint64_t> d_acc(cfg_.total_banks, 0);
+  std::uint64_t total_acc = 0;
+  std::size_t banks_active = 0;
+  for (BankId b = 0; b < cfg_.total_banks; ++b) {
+    const std::uint64_t acc = l2_->bank_cache_stats(b).accesses();
+    d_acc[b] = acc - prev_bank_accesses_[b];
+    prev_bank_accesses_[b] = acc;
+    total_acc += d_acc[b];
+    if (banks_on[b]) ++banks_active;
+  }
+  const double l2_pj = delta.dynamic(power::Component::kL2);
+  for (BankId b = 0; b < cfg_.total_banks; ++b) {
+    const std::size_t tile = flp.bank_tile(b);
+    if (total_acc > 0) {
+      if (d_acc[b] > 0) {
+        src.dynamic_w[tile] += l2_pj *
+                               (static_cast<double>(d_acc[b]) /
+                                static_cast<double>(total_acc)) *
+                               pj_to_w;
+      }
+    } else if (banks_on[b] && banks_active > 0) {
+      src.dynamic_w[tile] +=
+          l2_pj / static_cast<double>(banks_active) * pj_to_w;
+    }
+    if (banks_on[b]) {
+      src.l2_leak_ref_w[tile] += cfg_.l2.leakage_mw_per_bank * 1e-3;
+    }
+  }
+
+  // Interconnect: spread across the channel tiles of the active span (the
+  // Fig. 5 span shrink concentrates the channel's heat after gating).
+  const core::PowerState& state =
+      mot_ != nullptr ? mot_->state() : cfg_.power_state;
+  const std::vector<std::size_t> chan =
+      flp.channel_tiles(state.active_cores(), state.active_banks());
+  const double icn_pj = delta.dynamic(power::Component::kInterconnect);
+  const double icn_leak_w = interconnect_->leakage_mw() * 1e-3;
+  const double n_chan = static_cast<double>(chan.size());
+  for (std::size_t tile : chan) {
+    src.dynamic_w[tile] += icn_pj / n_chan * pj_to_w;
+    src.icn_leak_ref_w[tile] += icn_leak_w / n_chan;
+  }
+  // DRAM is off-cluster: its energy never enters the stack.
+  return src;
+}
+
+void Cluster::thermal_finalize() {
+  if (thermal_ == nullptr) return;
+  thermal_sample_interval();  // the partial tail since the last boundary
+  set_frozen(false);          // close throttle accounting
+}
+
+void Cluster::accumulate_dynamic_energy(power::EnergyLedger& ledger) const {
+  const power::CorePowerModel core_model(cfg_.core_power);
+  for (CoreId c : active_cores_) {
+    const cpu::Core& core = *cores_[c];
+    ledger.add_dynamic(power::Component::kCore,
+                       static_cast<double>(core.stats().instructions) *
+                           cfg_.core_power.energy_per_instr_pj);
+    ledger.add_dynamic(power::Component::kCore,
+                       core_model.spin_pj(core.stats().spin_cycles));
+    ledger.add_dynamic(power::Component::kL1,
+                       static_cast<double>(core.l1_accesses()) *
+                           cfg_.core_power.energy_per_l1_access_pj);
+  }
+  ledger.add_dynamic(power::Component::kL2,
+                     l2_->stats().dynamic_energy_pj + governor_flush_pj_);
+  ledger.add_dynamic(power::Component::kInterconnect,
+                     interconnect_->dynamic_energy_pj());
+  ledger.add_dynamic(power::Component::kDram, dram_->stats().dynamic_energy_pj);
 }
 
 SimResult Cluster::collect_result() const {
@@ -244,30 +470,37 @@ SimResult Cluster::collect_result() const {
     l1d_acc += core.l1d_stats().accesses();
     l1i_miss += core.l1i_stats().misses();
     l1i_acc += core.l1i_stats().accesses();
-
-    r.energy.add_dynamic(power::Component::kCore,
-                         static_cast<double>(core.stats().instructions) *
-                             cfg_.core_power.energy_per_instr_pj);
-    r.energy.add_dynamic(power::Component::kCore,
-                         core_model.spin_pj(core.stats().spin_cycles));
-    r.energy.add_static(power::Component::kCore, core_model.static_pj(now_));
-    r.energy.add_dynamic(power::Component::kL1,
-                         static_cast<double>(core.l1_accesses()) *
-                             cfg_.core_power.energy_per_l1_access_pj);
   }
   r.l1d_miss_rate =
       l1d_acc == 0 ? 0.0 : static_cast<double>(l1d_miss) / static_cast<double>(l1d_acc);
   r.l1i_miss_rate =
       l1i_acc == 0 ? 0.0 : static_cast<double>(l1i_miss) / static_cast<double>(l1i_acc);
 
-  r.energy.add_dynamic(power::Component::kL2, l2_->stats().dynamic_energy_pj);
-  r.energy.add_static(power::Component::kL2,
-                      l2_->leakage_mw() * static_cast<double>(now_));
-  r.energy.add_dynamic(power::Component::kInterconnect,
-                       interconnect_->dynamic_energy_pj());
-  r.energy.add_static(power::Component::kInterconnect,
-                      interconnect_->leakage_mw() * static_cast<double>(now_));
-  r.energy.add_dynamic(power::Component::kDram, dram_->stats().dynamic_energy_pj);
+  accumulate_dynamic_energy(r.energy);
+  if (thermal_ != nullptr) {
+    // Static energy was integrated interval-by-interval at the converged
+    // tile temperatures (run() finalises the tail before collecting); the
+    // clock tree stays a flat term — it is switching power, not leakage.
+    r.energy.add_static(power::Component::kCore,
+                        thermal_->core_static_pj() + clock_tree_pj_);
+    r.energy.add_static(power::Component::kL2, thermal_->l2_static_pj());
+    r.energy.add_static(power::Component::kInterconnect,
+                        thermal_->icn_static_pj());
+    r.thermal = thermal_->summary();
+    const thermal::GovernorStats& gs = governor_->stats();
+    r.thermal.throttle_events = gs.throttle_events;
+    r.thermal.bank_gate_events = gs.bank_gate_events;
+    r.thermal.core_hold_events = gs.core_hold_events;
+    r.thermal.throttled_cycles = throttled_cycles_;
+  } else {
+    for (std::size_t i = 0; i < active_cores_.size(); ++i) {
+      r.energy.add_static(power::Component::kCore, core_model.static_pj(now_));
+    }
+    r.energy.add_static(power::Component::kL2,
+                        l2_->leakage_mw() * static_cast<double>(now_));
+    r.energy.add_static(power::Component::kInterconnect,
+                        interconnect_->leakage_mw() * static_cast<double>(now_));
+  }
 
   r.edp_pj_s = r.energy.edp_pj_s(now_);
   r.avg_power_w = r.energy.average_power_w(now_);

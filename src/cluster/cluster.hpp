@@ -17,6 +17,7 @@
 #include "common/types.hpp"
 #include "core/mot_interconnect.hpp"
 #include "core/power_state.hpp"
+#include "core/reconfig.hpp"
 #include "cpu/barrier.hpp"
 #include "cpu/core.hpp"
 #include "mem/dram.hpp"
@@ -27,6 +28,8 @@
 #include "power/core_power.hpp"
 #include "power/energy_ledger.hpp"
 #include "power/interconnect_power.hpp"
+#include "thermal/governor.hpp"
+#include "thermal/thermal_model.hpp"
 #include "workload/synthetic_trace.hpp"
 
 namespace mot3d::cluster {
@@ -74,6 +77,9 @@ struct ClusterConfig {
   double scale = 0.25;                  ///< fraction of the profile's work
   std::uint64_t seed = 42;
 
+  // -- thermal subsystem (disabled by default; see src/thermal/) --
+  thermal::ThermalConfig thermal;
+
   // -- simulation --
   SchedulerMode scheduler = SchedulerMode::kEventDriven;
   Cycle max_cycles = 200'000'000;       ///< runaway guard
@@ -107,6 +113,10 @@ struct SimResult {
   power::EnergyLedger energy;
   double edp_pj_s = 0.0;
   double avg_power_w = 0.0;
+
+  /// Thermal trajectory + governor activity (enabled == false when the
+  /// run had no thermal subsystem).
+  thermal::ThermalSummary thermal;
 
   std::vector<cpu::CoreStats> cores;  ///< active cores only
 
@@ -150,7 +160,38 @@ class Cluster {
   void tick_once_event();
 
   /// Minimum over every component's next_event(now_); never below now_.
+  /// Thermal sampling boundaries and the governor's unfreeze point are
+  /// events too, so both schedulers visit them at the exact same cycles.
   Cycle next_event_cycle() const;
+
+  // -- thermal subsystem plumbing (all no-ops when thermal_ is null) --
+
+  /// Run at the top of every scheduler iteration: completes pending
+  /// reconfiguration drains, unfreezes cores whose reprogramming delay
+  /// elapsed, and processes a sampling boundary when now_ is one.
+  void thermal_poll();
+
+  /// Apply a pending governor reconfiguration once the transport drained.
+  void try_complete_drain();
+
+  /// Close the power books of [last_thermal_cycle_, now_) and feed the
+  /// interval into the thermal model's leakage fixed point.
+  void thermal_sample_interval();
+
+  /// Per-tile power sources of the current interval from ledger deltas.
+  thermal::ThermalSources thermal_build_sources(
+      const power::EnergySample& delta, Cycle interval);
+
+  /// Account the final partial interval and stop throttle accounting.
+  void thermal_finalize();
+
+  /// Dynamic energy accumulated so far by every component, in the same
+  /// per-component order collect_result() uses (so the two agree to the
+  /// last bit).  Used for interval deltas via EnergyLedger::delta_since.
+  void accumulate_dynamic_energy(power::EnergyLedger& ledger) const;
+
+  /// Cores are clock-held (governor throttle or reconfiguration drain).
+  void set_frozen(bool frozen);
 
   ClusterConfig cfg_;
   std::unique_ptr<mem::DramBackend> dram_;
@@ -167,6 +208,26 @@ class Cluster {
   Cycle now_ = 0;
   Histogram l2_latency_{1, 256};
   Histogram l2_hit_latency_{1, 256};
+
+  // -- thermal subsystem state (engaged only when cfg_.thermal.enabled) --
+  std::unique_ptr<thermal::ThermalModel> thermal_;
+  std::unique_ptr<thermal::ThermalGovernor> governor_;
+  std::unique_ptr<core::ReconfigManager> reconfig_;  ///< MoT fabric only
+  power::EnergyLedger thermal_prev_snap_;   ///< ledger at the last boundary
+  std::vector<std::uint64_t> prev_core_instr_, prev_core_spin_, prev_core_l1_;
+  std::vector<std::uint64_t> prev_bank_accesses_;
+  Cycle next_thermal_cycle_ = kNeverCycle;
+  Cycle last_thermal_cycle_ = 0;
+  bool draining_ = false;                   ///< quiescing for reconfiguration
+  std::optional<core::PowerState> drain_target_;
+  bool governor_hold_ = false;              ///< governor demands held cores
+  Cycle frozen_until_ = 0;                  ///< reprogramming delay after apply
+  bool cores_frozen_ = false;
+  Cycle freeze_begin_ = 0;
+  std::uint64_t throttled_cycles_ = 0;
+  std::uint64_t frozen_at_last_sample_ = 0;  ///< clock-tree gating bookkeeping
+  double governor_flush_pj_ = 0.0;          ///< bank-flush reads of demotions
+  double clock_tree_pj_ = 0.0;              ///< flat (non-thermal) core static
 };
 
 /// Canonical paper setup: Table I architecture + the given knobs.

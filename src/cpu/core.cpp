@@ -174,6 +174,7 @@ void Core::injection_accepted(Cycle now) {
 void Core::on_response(const MemResponse& resp, Cycle now) {
   assert(state_ == State::kWaitMem);
   assert(resp.core == id_);
+  (void)resp;  // identity only matters to the asserts
   if (inflight_is_writeback_) {
     // Dirty-victim write-back acknowledged; resume the instruction stream.
     inflight_is_writeback_ = false;

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "common/leakage.hpp"
+
 namespace mot3d::power {
 
 /// Per-core energy/power coefficients (45 nm, 1 V, 1 GHz defaults).
@@ -48,6 +50,21 @@ class CorePowerModel {
   double static_pj(std::uint64_t cycles) const {
     // mW * ns == pJ.
     return static_cast<double>(cycles) * (p_.leakage_mw + p_.clock_tree_mw);
+  }
+
+  /// Core leakage at junction temperature `temp_c`, mW.  The clock tree is
+  /// switching power, not sub-threshold leakage — it does not scale with
+  /// temperature and is excluded here.
+  double leakage_mw_at(double temp_c, const LeakageTempParams& temp = {}) const {
+    return p_.leakage_mw * leakage_temp_scale(temp_c, temp);
+  }
+
+  /// Static energy over `cycles` cycles at junction temperature `temp_c`
+  /// (temperature-scaled leakage + unscaled clock tree), in pJ.
+  double static_pj_at(std::uint64_t cycles, double temp_c,
+                      const LeakageTempParams& temp = {}) const {
+    return static_cast<double>(cycles) *
+           (leakage_mw_at(temp_c, temp) + p_.clock_tree_mw);
   }
 
   const CorePowerParams& params() const { return p_; }

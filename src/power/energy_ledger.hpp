@@ -6,6 +6,7 @@
 // consumption of core, L2 cache, and interconnect we used [19][13][20]").
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,33 @@ inline const char* component_name(Component c) {
   }
   return "?";
 }
+
+/// Per-component energy deltas between two ledger snapshots, pJ — the
+/// "what happened since the last sample" view that interval consumers
+/// (the thermal sampler, rate telemetry) need, so none of them re-diffs
+/// running totals by hand.
+struct EnergySample {
+  static constexpr std::size_t kNumComponents = 5;
+
+  std::array<double, kNumComponents> dynamic_pj{};
+  std::array<double, kNumComponents> static_pj{};
+
+  double dynamic(Component c) const {
+    return dynamic_pj[static_cast<std::size_t>(c)];
+  }
+  double total(Component c) const {
+    return dynamic(c) + static_pj[static_cast<std::size_t>(c)];
+  }
+
+  /// Average power of one component over an interval of `cycles` 1 ns
+  /// cycles, in watts (pJ / ns == W).
+  double power_w(Component c, Cycle cycles) const {
+    return cycles == 0 ? 0.0 : total(c) / static_cast<double>(cycles);
+  }
+  double dynamic_power_w(Component c, Cycle cycles) const {
+    return cycles == 0 ? 0.0 : dynamic(c) / static_cast<double>(cycles);
+  }
+};
 
 /// Per-run energy totals in picojoules, split dynamic vs. static.
 class EnergyLedger {
@@ -76,8 +104,23 @@ class EnergyLedger {
     }
   }
 
+  /// Per-component delta of this ledger relative to an `earlier` snapshot
+  /// of the same accumulation.  The caller keeps the previous snapshot and
+  /// asks for the delta each sampling interval.
+  EnergySample delta_since(const EnergyLedger& earlier) const {
+    EnergySample s;
+    for (std::size_t i = 0; i < kNumComponents; ++i) {
+      s.dynamic_pj[i] = dynamic_pj_[i] - earlier.dynamic_pj_[i];
+      s.static_pj[i] = static_pj_[i] - earlier.static_pj_[i];
+    }
+    return s;
+  }
+
  private:
   static constexpr std::size_t kNumComponents = 5;
+  static_assert(kNumComponents == EnergySample::kNumComponents,
+                "EnergySample's arrays are indexed with the ledger's "
+                "component count — update both together");
   static std::size_t index(Component c) { return static_cast<std::size_t>(c); }
 
   std::vector<double> dynamic_pj_;

@@ -41,7 +41,11 @@ std::string json_number(double v) {
 }
 
 std::string json_string(const std::string& s) {
-  return "\"" + json_escape(s) + "\"";
+  // Sequential appends: no operator+ temporaries on the serialisation path.
+  std::string out = "\"";
+  out += json_escape(s);
+  out += '"';
+  return out;
 }
 
 JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
@@ -82,7 +86,10 @@ std::string JsonObject::str() const {
   std::string out = "{";
   for (std::size_t i = 0; i < fields_.size(); ++i) {
     if (i > 0) out += ", ";
-    out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+    out += '"';
+    out += json_escape(fields_[i].first);
+    out += "\": ";
+    out += fields_[i].second;
   }
   out += "}";
   return out;

@@ -1,5 +1,6 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <ostream>
@@ -53,6 +54,27 @@ JsonObject run_metrics(const ScenarioRun& run, const cluster::SimResult& r) {
       .set("edp_energy_pj", r.energy.edp_energy_pj())
       .set("edp_pj_s", r.edp_pj_s)
       .set("avg_power_w", r.avg_power_w);
+  // Thermal runs append their trajectory; non-thermal runs keep the exact
+  // field set the pre-thermal golden baselines pinned.
+  if (run.thermal.enabled) {
+    const thermal::ThermalSummary& t = r.thermal;
+    o.set("thermal_ambient_c", t.ambient_c)
+        .set("thermal_ceiling_c", t.ceiling_c)
+        .set("thermal_peak_c", t.peak_c)
+        .set("thermal_peak_core_die_c", t.peak_layer_c.size() > 0 ? t.peak_layer_c[0] : 0.0)
+        .set("thermal_peak_l2_tier_a_c", t.peak_layer_c.size() > 1 ? t.peak_layer_c[1] : 0.0)
+        .set("thermal_peak_l2_tier_b_c", t.peak_layer_c.size() > 2 ? t.peak_layer_c[2] : 0.0)
+        .set("thermal_final_peak_c", t.final_peak_c)
+        .set("thermal_steady_peak_c", t.steady_peak_c)
+        .set("thermal_samples", t.samples)
+        .set("thermal_throttle_events", t.throttle_events)
+        .set("thermal_bank_gate_events", t.bank_gate_events)
+        .set("thermal_core_hold_events", t.core_hold_events)
+        .set("thermal_throttled_cycles", t.throttled_cycles)
+        .set("thermal_leakage_pj", t.leakage_pj)
+        .set("thermal_leakage_ref_pj", t.leakage_ref_pj)
+        .set("thermal_leakage_delta_pj", t.leakage_delta_pj());
+  }
   return o;
 }
 
@@ -110,21 +132,30 @@ void present_generic(const ScenarioOutcome& out, std::ostream& os) {
 
 std::size_t ScenarioSpec::grid_size() const {
   if (kind != Kind::kSweep) return power_states.size();
-  return apps.size() * fabrics.size() * power_states.size() * dram_presets.size();
+  return apps.size() * fabrics.size() * power_states.size() * dram_presets.size() *
+         std::max<std::size_t>(1, thermal_envelopes.size());
 }
 
 std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec, std::size_t* skipped) {
+  // An empty thermal axis is one implicit disabled cell, so non-thermal
+  // specs expand to exactly the grids they always did.
+  const std::vector<thermal::ThermalEnvelope> envelopes =
+      spec.thermal_envelopes.empty()
+          ? std::vector<thermal::ThermalEnvelope>{thermal::ThermalEnvelope{}}
+          : spec.thermal_envelopes;
   std::vector<ScenarioRun> runs;
   std::size_t dropped = 0;
   for (const std::string& app : spec.apps) {
     for (cluster::Fabric fabric : spec.fabrics) {
       for (const core::PowerState& state : spec.power_states) {
         for (mem::DramPreset dram : spec.dram_presets) {
-          const ScenarioRun run{app, fabric, state, dram};
-          if (run_is_valid(run)) {
-            runs.push_back(run);
-          } else {
-            ++dropped;
+          for (const thermal::ThermalEnvelope& env : envelopes) {
+            const ScenarioRun run{app, fabric, state, dram, env};
+            if (run_is_valid(run)) {
+              runs.push_back(run);
+            } else {
+              ++dropped;
+            }
           }
         }
       }
@@ -192,6 +223,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioOptions& op
         workload::profile_by_name(run.app), run.fabric, run.state, run.dram,
         opt.scale, opt.seed);
     cfg.scheduler = opt.scheduler;
+    cfg.thermal = thermal::ThermalConfig::from_envelope(run.thermal);
     tasks.push_back([cfg] { return cluster::Cluster(cfg).run(); });
   }
   out.results = runner.run(tasks);

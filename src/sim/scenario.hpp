@@ -51,11 +51,15 @@ struct ScenarioSpec {
   std::string description;  ///< one line for `mot3d_experiments --list`
   Kind kind = Kind::kSweep;
 
-  // -- sweep grid (kSweep; expansion order: apps > fabrics > states > dram) --
+  // -- sweep grid (kSweep; expansion order: apps > fabrics > states > dram
+  //    > thermal envelopes) --
   std::vector<std::string> apps;
   std::vector<cluster::Fabric> fabrics;
   std::vector<core::PowerState> power_states;
   std::vector<mem::DramPreset> dram_presets;
+  /// Thermal axis: ambient x ceiling cells (src/thermal/).  Empty means
+  /// one implicit disabled cell — non-thermal sweeps are unaffected.
+  std::vector<thermal::ThermalEnvelope> thermal_envelopes;
 
   // -- run knobs --
   double default_scale = 0.5;  ///< bench-binary default (--scale overrides)
@@ -81,6 +85,7 @@ struct ScenarioRun {
   cluster::Fabric fabric = cluster::Fabric::kMot;
   core::PowerState state = core::PowerState::full();
   mem::DramPreset dram = mem::DramPreset::kDdr3_200ns;
+  thermal::ThermalEnvelope thermal;  ///< disabled unless the spec has an axis
 };
 
 /// Analytic payload of a kTiming scenario, one row per power state.

@@ -343,6 +343,57 @@ void present_fig7b(const ScenarioOutcome& out, std::ostream& os) {
   s.print(os);
 }
 
+// ---- thermal envelope presenter --------------------------------------------
+
+void present_thermal(const ScenarioOutcome& out, std::ostream& os) {
+  print_header(out, "Thermal envelopes: 3-D stack temperature, throttling, "
+                    "leakage feedback", os);
+  TextTable tbl("per-run thermal trajectory (temperatures in °C)");
+  tbl.set_header({"app", "fabric", "amb", "ceil", "peak core/L2a/L2b", "steady",
+                  "throttles (bank+hold)", "held kcyc", "leak delta", "kcycles"});
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    const ScenarioRun& run = out.runs[i];
+    const cluster::SimResult& r = out.results[i];
+    const thermal::ThermalSummary& t = r.thermal;
+    const double leak_delta_pct =
+        t.leakage_ref_pj == 0.0 ? 0.0
+                                : 100.0 * t.leakage_delta_pj() / t.leakage_ref_pj;
+    tbl.add_row({run.app, cluster::fabric_name(run.fabric),
+                 fmt_fixed(t.ambient_c, 0), fmt_fixed(t.ceiling_c, 0),
+                 fmt_fixed(t.peak_layer_c.size() > 0 ? t.peak_layer_c[0] : 0.0, 1) +
+                     " / " +
+                     fmt_fixed(t.peak_layer_c.size() > 1 ? t.peak_layer_c[1] : 0.0, 1) +
+                     " / " +
+                     fmt_fixed(t.peak_layer_c.size() > 2 ? t.peak_layer_c[2] : 0.0, 1),
+                 fmt_fixed(t.steady_peak_c, 1),
+                 std::to_string(t.throttle_events) + " (" +
+                     std::to_string(t.bank_gate_events) + "+" +
+                     std::to_string(t.core_hold_events) + ")",
+                 fmt_fixed(static_cast<double>(t.throttled_cycles) / 1000.0, 0),
+                 fmt_fixed(leak_delta_pct, 1) + "%",
+                 fmt_fixed(static_cast<double>(r.cycles) / 1000.0, 0)});
+  }
+  tbl.print(os);
+
+  // The stacked-cache signature: upper tiers cool through the core die,
+  // so the hottest layer must be a stacked tier, not the logic die.
+  bool stacked_hotter = true;
+  std::uint64_t total_throttles = 0;
+  for (const cluster::SimResult& r : out.results) {
+    const thermal::ThermalSummary& t = r.thermal;
+    if (t.peak_layer_c.size() == 3 &&
+        std::max(t.peak_layer_c[1], t.peak_layer_c[2]) + 1e-9 < t.peak_layer_c[0]) {
+      stacked_hotter = false;
+    }
+    total_throttles += t.throttle_events;
+  }
+  os << "shape check: stacked L2 tiers run at/above the core die: "
+     << (stacked_hotter ? "PASS" : "CHECK") << "\n";
+  os << "governor: " << total_throttles
+     << " throttle events across the envelope grid (hotter ambient / lower "
+        "ceiling must throttle more)\n";
+}
+
 // ---- registry construction -------------------------------------------------
 
 ScenarioSpec timing_spec(std::string name, std::string figure,
@@ -397,6 +448,30 @@ ScenarioSpec states_spec(std::string name, std::string figure,
   return s;
 }
 
+ScenarioSpec thermal_spec() {
+  ScenarioSpec s;
+  s.name = "thermal_envelope";
+  s.figure = "§III (thermal)";
+  s.description = "3-D stack thermal envelopes: ambient x ceiling x fabric";
+  // One cache-light and one capacity/miss-heavy program, the MoT against
+  // the packet-switched mesh (only the MoT can gate banks to cool down),
+  // over ambient x ceiling envelopes.
+  s.apps = {"fft", "ocean_contiguous"};
+  s.fabrics = {cluster::Fabric::kMot, cluster::Fabric::kTrueMesh3d};
+  s.power_states = {core::PowerState::full()};
+  s.dram_presets = {mem::DramPreset::kDdr3_200ns};
+  s.thermal_envelopes = {
+      thermal::ThermalEnvelope{true, 45.0, 85.0},
+      thermal::ThermalEnvelope{true, 45.0, 70.0},
+      thermal::ThermalEnvelope{true, 60.0, 85.0},
+      thermal::ThermalEnvelope{true, 60.0, 70.0},
+  };
+  s.default_scale = 0.5;
+  s.golden_scale = 0.02;
+  s.present = present_thermal;
+  return s;
+}
+
 ScenarioSpec custom_spec(std::string name, std::string description,
                          int (*body)(const ScenarioSpec&, const ScenarioOptions&,
                                      std::ostream&),
@@ -445,6 +520,7 @@ std::vector<ScenarioSpec> build_registry() {
                           [](const ScenarioOutcome& out, std::ostream& os) {
                             (void)present_edp_table(out, os);
                           }));
+  r.push_back(thermal_spec());
   r.push_back(custom_spec("ablation_wire",
                           "repeater insertion vs Elmore wire delay",
                           run_ablation_wire, 0.5));

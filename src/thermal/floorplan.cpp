@@ -1,0 +1,86 @@
+#include "thermal/floorplan.hpp"
+
+#include <algorithm>
+
+#include "core/power_state.hpp"
+
+namespace mot3d::thermal {
+
+namespace {
+constexpr double kMmToM = 1e-3;
+constexpr double kUmToM = 1e-6;
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+ThermalFloorplan::ThermalFloorplan(const phys::FloorplanParams& fp,
+                                   const phys::TechnologyParams& tech,
+                                   const ThermalStackParams& stack)
+    : fp_(fp), stack_(stack), columns_(fp.max_cores) {
+  column_width_mm_ = fp_.die_x_mm / static_cast<double>(columns_);
+
+  // Copper TSV bus per landing column, in parallel with the bond layer.
+  const double tsv_area_m2 =
+      kPi * 0.25 * (stack_.tsv_diameter_um * kUmToM) * (stack_.tsv_diameter_um * kUmToM);
+  const double tsv_height_m = tech.tsv_height_um * kUmToM;
+  tsv_g_per_column_w_k_ = static_cast<double>(stack_.tsvs_per_column) *
+                          stack_.k_tsv_cu_w_mk * tsv_area_m2 / tsv_height_m;
+
+  tiles_.reserve(kLayers * columns_);
+  const double area_m2 =
+      (column_width_mm_ * kMmToM) * (fp_.die_y_mm * kMmToM);
+  for (std::size_t layer = 0; layer < kLayers; ++layer) {
+    const double thickness_m =
+        (layer == 0 ? stack_.core_die_thickness_mm : stack_.stacked_die_thickness_mm) *
+        kMmToM;
+    for (std::size_t col = 0; col < columns_; ++col) {
+      ThermalTile t;
+      t.layer = layer;
+      t.column = col;
+      t.capacitance_j_k = stack_.c_vol_j_m3k * area_m2 * thickness_m;
+      tiles_.push_back(t);
+    }
+  }
+}
+
+std::vector<std::size_t> ThermalFloorplan::channel_tiles(
+    std::size_t active_cores, std::size_t active_banks) const {
+  // Active spans are centre-folded (core::PowerState): the channel covers
+  // the union of the active core columns and the active bank landing
+  // columns.  Bank landing columns: two banks per column.
+  const std::size_t core_base = core::PowerState::centre_base(
+      columns_, std::min(active_cores, columns_), /*upper_half=*/false);
+  const std::size_t core_end = core_base + std::min(active_cores, columns_);
+  const std::size_t bank_cols = std::max<std::size_t>(1, active_banks / 2);
+  const std::size_t bank_base = core::PowerState::centre_base(
+      columns_, std::min(bank_cols, columns_), /*upper_half=*/false);
+  const std::size_t bank_end = bank_base + std::min(bank_cols, columns_);
+
+  const std::size_t lo = std::min(core_base, bank_base);
+  const std::size_t hi = std::max(core_end, bank_end);
+  std::vector<std::size_t> out;
+  out.reserve(hi - lo);
+  for (std::size_t col = lo; col < hi; ++col) out.push_back(tile_index(0, col));
+  return out;
+}
+
+double ThermalFloorplan::lateral_g_w_k(std::size_t layer) const {
+  const double thickness_m =
+      (layer == 0 ? stack_.core_die_thickness_mm : stack_.stacked_die_thickness_mm) *
+      kMmToM;
+  const double cross_section_m2 = (fp_.die_y_mm * kMmToM) * thickness_m;
+  return stack_.k_silicon_w_mk * cross_section_m2 / (column_width_mm_ * kMmToM);
+}
+
+double ThermalFloorplan::vertical_g_w_k(std::size_t lower) const {
+  (void)lower;  // both bond interfaces share the tier gap and TSV geometry
+  const double area_m2 = (column_width_mm_ * kMmToM) * (fp_.die_y_mm * kMmToM);
+  const double gap_m = fp_.tier_gap_mm * kMmToM;
+  const double bond_g = stack_.k_bond_w_mk * area_m2 / gap_m;
+  return bond_g + tsv_g_per_column_w_k_;
+}
+
+double ThermalFloorplan::sink_g_w_k() const {
+  return 1.0 / (stack_.sink_resistance_k_w * static_cast<double>(columns_));
+}
+
+}  // namespace mot3d::thermal

@@ -1,0 +1,111 @@
+// Thermal floorplan of the 3-D stack: the per-layer tile grid the RC
+// solver works on, derived from the electrical floorplan (phys::geometry).
+//
+// The stack has three silicon layers (paper Fig. 1(b)):
+//
+//   layer 2   L2 tier B   (odd banks: one 64 KB bank per landing column)
+//   layer 1   L2 tier A   (even banks)
+//   layer 0   core die    (16 cores + the MoT channel), attached to the
+//                         heat spreader / sink
+//
+// Each layer is tiled into `columns` equal slices across the die's x
+// extent — one column per core site, which is also one TSV-bus landing
+// column (two banks share a landing column, one on each stacked tier, so
+// 32 banks land on 16 columns; see ClusterGeometry::bank_field_span_mm).
+// Heat flows laterally between column neighbours within a layer, and
+// vertically between layers through the bonding interface, whose
+// conductance is boosted by the copper TSV bus at every landing column.
+// The only path to ambient is through the core die into the sink — the
+// classic stacked-cache asymmetry: upper tiers are cooled through the
+// logic die below them, so they run hotter for the same power.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "phys/geometry.hpp"
+#include "phys/technology.hpp"
+
+namespace mot3d::thermal {
+
+/// Material / package constants of the thermal stack.  Lengths in the
+/// same units as phys (mm, µm) — converted to SI internally.
+struct ThermalStackParams {
+  double k_silicon_w_mk = 130.0;   ///< bulk silicon conductivity, W/(m K)
+  double k_bond_w_mk = 1.5;        ///< underfill + micro-bump bond layer
+  double k_tsv_cu_w_mk = 400.0;    ///< copper TSV fill
+  double c_vol_j_m3k = 1.75e6;     ///< volumetric heat capacity of silicon
+  double core_die_thickness_mm = 0.30;   ///< bulk die on the package
+  double stacked_die_thickness_mm = 0.05;///< thinned stacked tiers
+  double tsv_diameter_um = 5.0;    ///< per-TSV copper cross-section
+  std::size_t tsvs_per_column = 128;  ///< TSV bus lands per column (data+ctl)
+  /// Junction-to-ambient resistance of the whole package through the core
+  /// die, K/W (spreader + sink + convection, lumped).
+  double sink_resistance_k_w = 12.0;
+};
+
+/// One tile of the 3-D grid (a column slice of one layer).
+struct ThermalTile {
+  std::size_t layer = 0;   ///< 0 = core die, 1/2 = stacked L2 tiers
+  std::size_t column = 0;  ///< x slice index
+  double capacitance_j_k = 0.0;
+};
+
+/// The derived RC network: tiles plus the three conductance families the
+/// solver needs.  Indexing: tile(layer, column) = layer * columns + column.
+class ThermalFloorplan {
+ public:
+  ThermalFloorplan(const phys::FloorplanParams& fp,
+                   const phys::TechnologyParams& tech,
+                   const ThermalStackParams& stack = {});
+
+  std::size_t layers() const { return kLayers; }
+  std::size_t columns() const { return columns_; }
+  std::size_t tile_count() const { return tiles_.size(); }
+  std::size_t tile_index(std::size_t layer, std::size_t column) const {
+    return layer * columns_ + column;
+  }
+  const std::vector<ThermalTile>& tiles() const { return tiles_; }
+
+  /// Tile hosting physical core `c` (core die).
+  std::size_t core_tile(CoreId c) const { return tile_index(0, c % columns_); }
+
+  /// Tile hosting physical L2 bank `b`: two banks share landing column
+  /// b/2, the even bank on tier A (layer 1), the odd bank on tier B
+  /// (layer 2) — the tier sharing phys::geometry folds into its pitch.
+  std::size_t bank_tile(BankId b) const {
+    return tile_index(1 + (b % 2), (b / 2) % columns_);
+  }
+
+  /// Core-die tiles carrying the MoT channel for an active centre span of
+  /// `active_cores` cores and `active_banks` banks: the union of the two
+  /// centre-folded fields (the Fig. 5 active-span shrink, thermally).
+  std::vector<std::size_t> channel_tiles(std::size_t active_cores,
+                                         std::size_t active_banks) const;
+
+  /// Lateral conductance between column neighbours of `layer`, W/K.
+  double lateral_g_w_k(std::size_t layer) const;
+
+  /// Vertical conductance between a tile of layer `lower` and the tile
+  /// above it (bond layer + TSV copper in parallel), W/K.
+  double vertical_g_w_k(std::size_t lower) const;
+
+  /// Conductance of one core-die tile into the heat sink, W/K (the whole
+  /// package resistance split evenly over the columns).
+  double sink_g_w_k() const;
+
+  const ThermalStackParams& stack() const { return stack_; }
+
+ private:
+  static constexpr std::size_t kLayers = 3;
+
+  phys::FloorplanParams fp_;
+  ThermalStackParams stack_;
+  std::size_t columns_;
+  double column_width_mm_;
+  double tsv_g_per_column_w_k_;
+  std::vector<ThermalTile> tiles_;
+};
+
+}  // namespace mot3d::thermal

@@ -1,0 +1,121 @@
+#include "thermal/rc_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mot3d::thermal {
+
+namespace {
+/// Fraction of the stability bound actually used per substep.
+constexpr double kStabilitySafety = 0.5;
+/// Gauss-Seidel convergence: max per-sweep temperature change, °C.
+constexpr double kSteadyTolC = 1e-9;
+constexpr std::size_t kSteadyMaxSweeps = 20000;
+}  // namespace
+
+ThermalRcSolver::ThermalRcSolver(const ThermalFloorplan& flp, double ambient_c)
+    : layers_(flp.layers()), columns_(flp.columns()), ambient_c_(ambient_c) {
+  const std::size_t n = flp.tile_count();
+  cap_.resize(n);
+  sink_g_.assign(n, 0.0);
+  g_sum_.assign(n, 0.0);
+  edges_.assign(n, {});
+  temp_.assign(n, ambient_c_);
+  scratch_.assign(n, ambient_c_);
+
+  for (std::size_t i = 0; i < n; ++i) cap_[i] = flp.tiles()[i].capacitance_j_k;
+
+  auto connect = [this](std::size_t a, std::size_t b, double g) {
+    edges_[a].push_back({b, g});
+    edges_[b].push_back({a, g});
+    g_sum_[a] += g;
+    g_sum_[b] += g;
+  };
+
+  for (std::size_t layer = 0; layer < layers_; ++layer) {
+    const double lat = flp.lateral_g_w_k(layer);
+    for (std::size_t col = 0; col + 1 < columns_; ++col) {
+      connect(flp.tile_index(layer, col), flp.tile_index(layer, col + 1), lat);
+    }
+  }
+  for (std::size_t layer = 0; layer + 1 < layers_; ++layer) {
+    const double vert = flp.vertical_g_w_k(layer);
+    for (std::size_t col = 0; col < columns_; ++col) {
+      connect(flp.tile_index(layer, col), flp.tile_index(layer + 1, col), vert);
+    }
+  }
+  const double sink = flp.sink_g_w_k();
+  for (std::size_t col = 0; col < columns_; ++col) {
+    const std::size_t i = flp.tile_index(0, col);
+    sink_g_[i] = sink;
+    g_sum_[i] += sink;
+  }
+
+  stable_dt_s_ = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g_sum_[i] > 0.0) stable_dt_s_ = std::min(stable_dt_s_, cap_[i] / g_sum_[i]);
+  }
+}
+
+void ThermalRcSolver::step(const std::vector<double>& power_w, double dt_s) {
+  assert(power_w.size() == cap_.size());
+  if (dt_s <= 0.0) return;
+  const double max_sub = kStabilitySafety * stable_dt_s_;
+  const auto substeps =
+      static_cast<std::size_t>(std::max(1.0, std::ceil(dt_s / max_sub)));
+  const double dt_sub = dt_s / static_cast<double>(substeps);
+
+  const std::size_t n = cap_.size();
+  for (std::size_t s = 0; s < substeps; ++s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double flow_w = power_w[i] + sink_g_[i] * (ambient_c_ - temp_[i]);
+      for (const Edge& e : edges_[i]) flow_w += e.g_w_k * (temp_[e.other] - temp_[i]);
+      scratch_[i] = temp_[i] + dt_sub * flow_w / cap_[i];
+    }
+    temp_.swap(scratch_);
+  }
+}
+
+std::vector<double> ThermalRcSolver::steady_state(
+    const std::vector<double>& power_w) const {
+  assert(power_w.size() == cap_.size());
+  const std::size_t n = cap_.size();
+  // Seed from the transient state: close to the answer during a run.
+  std::vector<double> t = temp_;
+  for (std::size_t sweep = 0; sweep < kSteadyMaxSweeps; ++sweep) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (g_sum_[i] <= 0.0) continue;  // isolated node: keep its seed
+      double num = power_w[i] + sink_g_[i] * ambient_c_;
+      for (const Edge& e : edges_[i]) num += e.g_w_k * t[e.other];
+      const double next = num / g_sum_[i];
+      max_delta = std::max(max_delta, std::abs(next - t[i]));
+      t[i] = next;
+    }
+    if (max_delta < kSteadyTolC) break;
+  }
+  return t;
+}
+
+void ThermalRcSolver::set_temperatures(const std::vector<double>& temps_c) {
+  assert(temps_c.size() == temp_.size());
+  temp_ = temps_c;
+}
+
+double ThermalRcSolver::peak_c() const {
+  double m = ambient_c_;
+  for (double t : temp_) m = std::max(m, t);
+  return m;
+}
+
+double ThermalRcSolver::peak_layer_c(std::size_t layer) const {
+  double m = ambient_c_;
+  for (std::size_t col = 0; col < columns_; ++col) {
+    m = std::max(m, temp_[layer * columns_ + col]);
+  }
+  return m;
+}
+
+}  // namespace mot3d::thermal

@@ -76,7 +76,7 @@ TEST(ScenarioRegistry, AllFigureAndTableScenariosRegistered) {
   for (const char* name :
        {"table1_config", "fig5_wire_lengths", "fig6a_l2_latency",
         "fig6b_exec_time", "fig7a_edp_200ns", "fig7b_exec_time_states",
-        "fig8a_edp_63ns", "fig8b_edp_42ns"}) {
+        "fig8a_edp_63ns", "fig8b_edp_42ns", "thermal_envelope"}) {
     const ScenarioSpec* spec = find_scenario(name);
     ASSERT_NE(spec, nullptr) << name;
     EXPECT_TRUE(spec->has_golden) << name;
@@ -87,7 +87,7 @@ TEST(ScenarioRegistry, AllFigureAndTableScenariosRegistered) {
     EXPECT_EQ(spec->kind, ScenarioSpec::Kind::kCustom) << name;
     EXPECT_FALSE(spec->has_golden) << name;
   }
-  EXPECT_EQ(all_scenarios().size(), 11u);
+  EXPECT_EQ(all_scenarios().size(), 12u);
   EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
 }
 
@@ -98,10 +98,23 @@ TEST(ScenarioRegistry, GridExpansionDropsInvalidCombos) {
   spec.power_states = {core::PowerState::full(), core::PowerState::pc4_mb8()};
   spec.dram_presets = {mem::DramPreset::kDdr3_200ns};
   std::size_t skipped = 0;
-  const auto runs = expand_grid(spec, &skipped);
+  auto runs = expand_grid(spec, &skipped);
   // MoT runs both states; the packet-switched mesh only runs Full.
   EXPECT_EQ(runs.size(), 3u);
   EXPECT_EQ(skipped, 1u);
+  // No thermal axis: every cell carries the disabled envelope.
+  for (const ScenarioRun& r : runs) EXPECT_FALSE(r.thermal.enabled);
+
+  // A thermal axis multiplies the valid grid and decorates each run.
+  spec.thermal_envelopes = {thermal::ThermalEnvelope{true, 45.0, 85.0},
+                            thermal::ThermalEnvelope{true, 60.0, 70.0}};
+  EXPECT_EQ(spec.grid_size(), 8u);
+  runs = expand_grid(spec, &skipped);
+  EXPECT_EQ(runs.size(), 6u);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_TRUE(runs[0].thermal.enabled);
+  EXPECT_EQ(runs[0].thermal.ambient_c, 45.0);
+  EXPECT_EQ(runs[1].thermal.ambient_c, 60.0);
 }
 
 TEST(ScenarioRegistry, AxisParsersRoundTrip) {

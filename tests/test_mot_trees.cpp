@@ -145,7 +145,9 @@ TEST(ArbitrationTree, BoundedWaitProperty) {
   std::vector<int> last_grant(8, -1);
   for (int round = 0; round < 64; ++round) {
     const CoreId w = *at.arbitrate(req);
-    if (last_grant[w] >= 0) EXPECT_LE(round - last_grant[w], 8);
+    if (last_grant[w] >= 0) {
+      EXPECT_LE(round - last_grant[w], 8);
+    }
     last_grant[w] = round;
   }
 }

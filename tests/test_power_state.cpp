@@ -67,7 +67,9 @@ TEST(PowerState, RemapTargetsAreActiveCentreGroup) {
 TEST(PowerState, SurvivorsMapToThemselves) {
   const PowerState s = PowerState::pc16_mb8();
   for (BankId b = 0; b < 32; ++b) {
-    if (s.bank_active(b)) EXPECT_EQ(s.remap_bank(b), b);
+    if (s.bank_active(b)) {
+      EXPECT_EQ(s.remap_bank(b), b);
+    }
   }
 }
 

@@ -1,0 +1,475 @@
+// Thermal subsystem tests: floorplan derivation, RC solver physics
+// (closed-form steady state, dt stability), leakage monotonicity and the
+// shared temperature law, governor hysteresis/duty-cycling, the
+// EnergyLedger delta API, and end-to-end determinism of thermal runs
+// across schedulers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cacti/sram_model.hpp"
+#include "cluster/advisor.hpp"
+#include "cluster/cluster.hpp"
+#include "common/leakage.hpp"
+#include "phys/wire.hpp"
+#include "power/core_power.hpp"
+#include "power/energy_ledger.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/governor.hpp"
+#include "thermal/rc_solver.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace mot3d {
+namespace {
+
+using thermal::ThermalFloorplan;
+using thermal::ThermalRcSolver;
+using thermal::ThermalStackParams;
+
+ThermalFloorplan paper_floorplan(ThermalStackParams stack = {}) {
+  return ThermalFloorplan(phys::FloorplanParams{}, phys::default_technology(),
+                          stack);
+}
+
+// ---- floorplan derivation --------------------------------------------------
+
+TEST(ThermalFloorplan, DerivesGridFromElectricalFloorplan) {
+  const ThermalFloorplan flp = paper_floorplan();
+  EXPECT_EQ(flp.layers(), 3u);
+  EXPECT_EQ(flp.columns(), 16u);  // one per core site / TSV landing column
+  EXPECT_EQ(flp.tile_count(), 48u);
+
+  // Cores live on the core die; banks pair up per landing column, one on
+  // each stacked tier.
+  EXPECT_EQ(flp.core_tile(0), flp.tile_index(0, 0));
+  EXPECT_EQ(flp.core_tile(15), flp.tile_index(0, 15));
+  EXPECT_EQ(flp.bank_tile(0), flp.tile_index(1, 0));
+  EXPECT_EQ(flp.bank_tile(1), flp.tile_index(2, 0));
+  EXPECT_EQ(flp.bank_tile(30), flp.tile_index(1, 15));
+  EXPECT_EQ(flp.bank_tile(31), flp.tile_index(2, 15));
+
+  // The core die is thicker than the thinned stacked tiers: more thermal
+  // mass and more lateral spreading.
+  EXPECT_GT(flp.tiles()[flp.tile_index(0, 0)].capacitance_j_k,
+            flp.tiles()[flp.tile_index(1, 0)].capacitance_j_k);
+  EXPECT_GT(flp.lateral_g_w_k(0), flp.lateral_g_w_k(1));
+  EXPECT_GT(flp.vertical_g_w_k(0), 0.0);
+  EXPECT_GT(flp.sink_g_w_k(), 0.0);
+}
+
+TEST(ThermalFloorplan, ChannelTilesFollowTheActiveSpan) {
+  const ThermalFloorplan flp = paper_floorplan();
+  // Full connection: the whole channel.
+  EXPECT_EQ(flp.channel_tiles(16, 32).size(), 16u);
+  // PC4-MB8: 4 centre core columns, 4 bank landing columns -> centre span.
+  const auto gated = flp.channel_tiles(4, 8);
+  EXPECT_EQ(gated.size(), 4u);
+  EXPECT_EQ(gated.front(), flp.tile_index(0, 6));
+  EXPECT_EQ(gated.back(), flp.tile_index(0, 9));
+}
+
+// ---- RC solver physics -----------------------------------------------------
+
+/// Single-column configuration: lateral conduction is irrelevant when all
+/// power is uniform per layer, so each column is an independent 1-D stack
+/// with the closed-form solution
+///   T0 = Tamb + (P0+P1+P2)/Gs,  T1 = T0 + (P1+P2)/Gv,  T2 = T1 + P2/Gv.
+TEST(ThermalRcSolver, SteadyStateMatchesClosedFormStackSolution) {
+  const ThermalFloorplan flp = paper_floorplan();
+  const double ambient = 45.0;
+  ThermalRcSolver solver(flp, ambient);
+
+  const std::size_t cols = flp.columns();
+  const double p0 = 0.08, p1 = 0.03, p2 = 0.02;  // W per tile, uniform
+  std::vector<double> power(flp.tile_count(), 0.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    power[flp.tile_index(0, c)] = p0;
+    power[flp.tile_index(1, c)] = p1;
+    power[flp.tile_index(2, c)] = p2;
+  }
+
+  const double gs = flp.sink_g_w_k();
+  const double gv0 = flp.vertical_g_w_k(0);
+  const double gv1 = flp.vertical_g_w_k(1);
+  const double t0 = ambient + (p0 + p1 + p2) / gs;
+  const double t1 = t0 + (p1 + p2) / gv0;
+  const double t2 = t1 + p2 / gv1;
+
+  // Uniform per-layer power leaves no lateral gradients, so the 1-D
+  // closed form holds exactly per column, via the steady solver...
+  const std::vector<double> steady = solver.steady_state(power);
+  for (std::size_t c = 0; c < cols; ++c) {
+    EXPECT_NEAR(steady[flp.tile_index(0, c)], t0, 1e-6);
+    EXPECT_NEAR(steady[flp.tile_index(1, c)], t1, 1e-6);
+    EXPECT_NEAR(steady[flp.tile_index(2, c)], t2, 1e-6);
+  }
+
+  // ...and via long transient stepping (several sink time constants).
+  solver.step(power, 50.0);
+  EXPECT_NEAR(solver.tile_c(flp.tile_index(0, 7)), t0, 1e-3);
+  EXPECT_NEAR(solver.tile_c(flp.tile_index(1, 7)), t1, 1e-3);
+  EXPECT_NEAR(solver.tile_c(flp.tile_index(2, 7)), t2, 1e-3);
+
+  // The stacked-cache asymmetry: upper tiers are strictly hotter.
+  EXPECT_GT(t2, t1);
+  EXPECT_GT(t1, t0);
+  EXPECT_GT(t0, ambient);
+}
+
+TEST(ThermalRcSolver, ExplicitSteppingIsStableFarBeyondTheBound) {
+  const ThermalFloorplan flp = paper_floorplan();
+  ThermalRcSolver solver(flp, 45.0);
+  ASSERT_GT(solver.stable_dt_s(), 0.0);
+
+  // Hammer one corner tile hard and ask for a step 1e6x the stability
+  // bound: internal substepping must keep every temperature finite and
+  // below the (conservative) all-power-into-one-resistor bound.
+  std::vector<double> power(flp.tile_count(), 0.0);
+  power[flp.tile_index(2, 0)] = 5.0;
+  solver.step(power, 1e6 * solver.stable_dt_s());
+  const double bound =
+      45.0 + 5.0 / flp.sink_g_w_k() + 5.0 / flp.vertical_g_w_k(0) +
+      5.0 / flp.vertical_g_w_k(1) + 1.0;
+  for (double t : solver.temperatures_c()) {
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_GE(t, 45.0 - 1e-9);
+    EXPECT_LT(t, bound);
+  }
+}
+
+// ---- leakage law -----------------------------------------------------------
+
+TEST(ThermalLeakage, MonotoneInTemperatureAcrossAllThreeModels) {
+  const cacti::SramBankConfig bank;
+  const phys::WireModel wire{phys::default_technology()};
+  const power::CorePowerModel core;
+
+  double prev_sram = 0.0, prev_wire = 0.0, prev_core = 0.0;
+  for (double t = 25.0; t <= 110.0; t += 5.0) {
+    const double s = cacti::leakage_mw_at(bank, t);
+    const double w = wire.leakage_uw_per_bit_at(4.0, t);
+    const double c = core.leakage_mw_at(t);
+    EXPECT_GT(s, prev_sram);
+    EXPECT_GT(w, prev_wire);
+    EXPECT_GT(c, prev_core);
+    prev_sram = s;
+    prev_wire = w;
+    prev_core = c;
+  }
+
+  // At the reference temperature every *_at API equals its flat model.
+  const LeakageTempParams ref;
+  EXPECT_DOUBLE_EQ(cacti::leakage_mw_at(bank, ref.ref_temp_c),
+                   cacti::evaluate(bank).leakage_mw);
+  EXPECT_DOUBLE_EQ(wire.leakage_uw_per_bit_at(4.0, ref.ref_temp_c),
+                   wire.leakage_uw_per_bit(4.0));
+  EXPECT_DOUBLE_EQ(core.leakage_mw_at(ref.ref_temp_c), core.params().leakage_mw);
+
+  // All three share one law: the ratio at any temperature is the shared
+  // exponential scale.
+  EXPECT_DOUBLE_EQ(cacti::leakage_mw_at(bank, 85.0),
+                   cacti::evaluate(bank).leakage_mw * leakage_temp_scale(85.0));
+}
+
+// ---- governor --------------------------------------------------------------
+
+thermal::GovernorConfig governor_cfg(bool banks) {
+  thermal::GovernorConfig cfg;
+  cfg.ceiling_c = 80.0;
+  cfg.hysteresis_c = 5.0;
+  cfg.allow_bank_gating = banks;
+  cfg.min_banks = 8;
+  cfg.max_hold_intervals = 3;
+  return cfg;
+}
+
+TEST(ThermalGovernor, DemotesBanksFirstOnMotThenHoldsAndRestoresWithHysteresis) {
+  thermal::ThermalGovernor gov(governor_cfg(true), core::PowerState::full());
+
+  // Below the ceiling: nothing happens.
+  auto d = gov.decide(70.0);
+  EXPECT_FALSE(d.reconfigure.has_value());
+  EXPECT_FALSE(d.hold_cores);
+
+  // Cross the ceiling: first rung is bank gating, not a hold.
+  d = gov.decide(81.0);
+  ASSERT_TRUE(d.reconfigure.has_value());
+  EXPECT_EQ(d.reconfigure->active_banks(), 8u);
+  EXPECT_EQ(d.reconfigure->active_cores(), 16u);
+  EXPECT_FALSE(d.hold_cores);
+  EXPECT_EQ(gov.stats().bank_gate_events, 1u);
+
+  // Still hot: escalate to core holds.
+  d = gov.decide(82.0);
+  EXPECT_FALSE(d.reconfigure.has_value());
+  EXPECT_TRUE(d.hold_cores);
+  EXPECT_EQ(gov.stats().core_hold_events, 1u);
+
+  // In the hysteresis band (ceiling-hys < T < ceiling): keep holding.
+  d = gov.decide(77.0);
+  EXPECT_TRUE(d.hold_cores);
+
+  // Cooled below ceiling - hysteresis: release the hold, banks stay gated.
+  d = gov.decide(74.0);
+  EXPECT_FALSE(d.hold_cores);
+  EXPECT_FALSE(d.reconfigure.has_value());
+  EXPECT_EQ(gov.level(), 1u);
+
+  // A further cool interval restores the baseline banks.
+  d = gov.decide(74.0);
+  ASSERT_TRUE(d.reconfigure.has_value());
+  EXPECT_EQ(d.reconfigure->active_banks(), 32u);
+  EXPECT_EQ(gov.level(), 0u);
+}
+
+TEST(ThermalGovernor, PacketSwitchedFabricSkipsStraightToHolds) {
+  thermal::ThermalGovernor gov(governor_cfg(false), core::PowerState::full());
+  const auto d = gov.decide(90.0);
+  EXPECT_FALSE(d.reconfigure.has_value());
+  EXPECT_TRUE(d.hold_cores);
+  EXPECT_EQ(gov.stats().bank_gate_events, 0u);
+}
+
+TEST(ThermalGovernor, DutyCycleGuardForcesPeriodicProgress) {
+  thermal::ThermalGovernor gov(governor_cfg(false), core::PowerState::full());
+  EXPECT_TRUE(gov.decide(95.0).hold_cores);  // demote to holds
+  // Sustained heat: after max_hold_intervals consecutive holds the guard
+  // must force one released interval, then resume.
+  std::size_t released = 0, held = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (gov.decide(95.0).hold_cores) {
+      ++held;
+    } else {
+      ++released;
+    }
+  }
+  EXPECT_GE(released, 3u);  // ~one release per (max_hold_intervals + 1)
+  EXPECT_GT(held, released);
+  EXPECT_EQ(gov.stats().duty_cycle_releases, released);
+}
+
+// ---- EnergyLedger delta API ------------------------------------------------
+
+TEST(EnergyLedgerDelta, DeltaSinceReportsPerIntervalRates) {
+  power::EnergyLedger ledger;
+  ledger.add_dynamic(power::Component::kCore, 100.0);
+  ledger.add_static(power::Component::kL2, 40.0);
+
+  power::EnergyLedger snap = ledger;  // sample 1
+  ledger.add_dynamic(power::Component::kCore, 60.0);
+  ledger.add_dynamic(power::Component::kDram, 10.0);
+  ledger.add_static(power::Component::kL2, 5.0);
+
+  const power::EnergySample d = ledger.delta_since(snap);
+  EXPECT_DOUBLE_EQ(d.dynamic(power::Component::kCore), 60.0);
+  EXPECT_DOUBLE_EQ(d.dynamic(power::Component::kDram), 10.0);
+  EXPECT_DOUBLE_EQ(d.total(power::Component::kL2), 5.0);
+  EXPECT_DOUBLE_EQ(d.dynamic(power::Component::kL1), 0.0);
+
+  // Rates: pJ over 1 ns cycles -> watts (100 pJ over 50 cycles = 2 mW).
+  EXPECT_DOUBLE_EQ(d.power_w(power::Component::kCore, 30), 2.0);
+  EXPECT_DOUBLE_EQ(d.power_w(power::Component::kCore, 0), 0.0);
+
+  // A fresh delta against the current state is all zeros.
+  const power::EnergySample z = ledger.delta_since(ledger);
+  for (auto c : {power::Component::kCore, power::Component::kL1,
+                 power::Component::kL2, power::Component::kInterconnect,
+                 power::Component::kDram}) {
+    EXPECT_DOUBLE_EQ(z.total(c), 0.0);
+  }
+}
+
+// ---- end-to-end: thermal runs through the cluster --------------------------
+
+cluster::SimResult thermal_run(const char* app, cluster::Fabric fabric,
+                               double ambient_c, double ceiling_c,
+                               cluster::SchedulerMode mode,
+                               double scale = 0.02) {
+  cluster::ClusterConfig cfg = cluster::make_paper_config(
+      workload::profile_by_name(app), fabric, core::PowerState::full(),
+      mem::DramPreset::kDdr3_200ns, scale, 42);
+  cfg.scheduler = mode;
+  cfg.thermal = thermal::ThermalConfig::from_envelope(
+      thermal::ThermalEnvelope{true, ambient_c, ceiling_c});
+  return cluster::Cluster(cfg).run();
+}
+
+TEST(ThermalCluster, SchedulersAgreeBitForBitIncludingThrottledRuns) {
+  // One cool envelope and one that provokes governor action, on both the
+  // reconfigurable MoT and a packet-switched baseline.
+  struct Case {
+    cluster::Fabric fabric;
+    double ambient, ceiling;
+  };
+  const Case cases[] = {
+      {cluster::Fabric::kMot, 45.0, 85.0},
+      {cluster::Fabric::kMot, 60.0, 70.0},
+      {cluster::Fabric::kTrueMesh3d, 60.0, 70.0},
+  };
+  for (const Case& c : cases) {
+    const cluster::SimResult ev = thermal_run(
+        "fft", c.fabric, c.ambient, c.ceiling, cluster::SchedulerMode::kEventDriven);
+    const cluster::SimResult de = thermal_run(
+        "fft", c.fabric, c.ambient, c.ceiling, cluster::SchedulerMode::kDenseTick);
+    EXPECT_EQ(ev.cycles, de.cycles);
+    EXPECT_EQ(ev.instructions, de.instructions);
+    EXPECT_EQ(ev.thermal.samples, de.thermal.samples);
+    EXPECT_EQ(ev.thermal.throttle_events, de.thermal.throttle_events);
+    EXPECT_EQ(ev.thermal.throttled_cycles, de.thermal.throttled_cycles);
+    EXPECT_EQ(ev.thermal.peak_c, de.thermal.peak_c);              // exact
+    EXPECT_EQ(ev.thermal.steady_peak_c, de.thermal.steady_peak_c);
+    EXPECT_EQ(ev.thermal.leakage_pj, de.thermal.leakage_pj);
+    EXPECT_EQ(ev.energy.edp_energy_pj(), de.energy.edp_energy_pj());
+  }
+}
+
+TEST(ThermalCluster, SchedulersAgreeWhenGovernorDecidesOnIdleTransport) {
+  // Regression: a governor reconfiguration decided at a boundary where
+  // the transport is *already idle* (compute phase, nothing in flight)
+  // must apply in that same poll.  If completion waited for a later
+  // poll, the event scheduler — seeing no component events — would only
+  // look again at the next sampling boundary, a full interval after the
+  // dense reference.  A short interval makes idle-at-boundary frequent.
+  for (auto fabric : {cluster::Fabric::kMot, cluster::Fabric::kTrueMesh3d}) {
+    cluster::SimResult results[2];
+    int i = 0;
+    for (auto mode : {cluster::SchedulerMode::kEventDriven,
+                      cluster::SchedulerMode::kDenseTick}) {
+      cluster::ClusterConfig cfg = cluster::make_paper_config(
+          workload::profile_by_name("fft"), fabric, core::PowerState::full(),
+          mem::DramPreset::kDdr3_200ns, 0.02, 42);
+      cfg.scheduler = mode;
+      cfg.thermal = thermal::ThermalConfig::from_envelope(
+          thermal::ThermalEnvelope{true, 60.0, 68.0});
+      cfg.thermal.sample_interval_cycles = 500;
+      results[i++] = cluster::Cluster(cfg).run();
+    }
+    EXPECT_GT(results[0].thermal.throttle_events, 0u);
+    EXPECT_EQ(results[0].cycles, results[1].cycles);
+    EXPECT_EQ(results[0].thermal.throttled_cycles,
+              results[1].thermal.throttled_cycles);
+    EXPECT_EQ(results[0].thermal.peak_c, results[1].thermal.peak_c);
+    EXPECT_EQ(results[0].energy.edp_energy_pj(),
+              results[1].energy.edp_energy_pj());
+  }
+}
+
+TEST(ThermalCluster, LeakageFeedbackIsMonotoneInAmbient) {
+  const cluster::SimResult cool =
+      thermal_run("fft", cluster::Fabric::kMot, 35.0, 1000.0,
+                  cluster::SchedulerMode::kEventDriven);
+  const cluster::SimResult warm =
+      thermal_run("fft", cluster::Fabric::kMot, 55.0, 1000.0,
+                  cluster::SchedulerMode::kEventDriven);
+  // 75 °C ambient puts this package's leakage loop gain above one —
+  // genuine thermal runaway, which must saturate finitely at the clamp
+  // instead of overflowing, and still read as the hottest of the three.
+  const cluster::SimResult runaway =
+      thermal_run("fft", cluster::Fabric::kMot, 75.0, 1000.0,
+                  cluster::SchedulerMode::kEventDriven);
+  // Ceiling far above reach: identical execution, only leakage moves.
+  ASSERT_EQ(cool.cycles, warm.cycles);
+  ASSERT_EQ(warm.cycles, runaway.cycles);
+  EXPECT_LT(cool.thermal.peak_c, warm.thermal.peak_c);
+  EXPECT_LT(warm.thermal.peak_c, runaway.thermal.peak_c);
+  EXPECT_LT(cool.thermal.leakage_pj, warm.thermal.leakage_pj);
+  EXPECT_LT(warm.thermal.leakage_pj, runaway.thermal.leakage_pj);
+  // And the delta vs. the temperature-independent model grows with it.
+  EXPECT_LT(cool.thermal.leakage_delta_pj(), warm.thermal.leakage_delta_pj());
+  EXPECT_LT(warm.thermal.leakage_delta_pj(), runaway.thermal.leakage_delta_pj());
+  // Saturated runaway stays finite and visibly catastrophic.
+  EXPECT_TRUE(std::isfinite(runaway.thermal.peak_c));
+  EXPECT_TRUE(std::isfinite(runaway.thermal.leakage_pj));
+  EXPECT_GT(runaway.thermal.peak_c, 120.0);
+}
+
+TEST(ThermalCluster, GovernorThrottlesHotEnvelopeAndStacksRunHotter) {
+  const cluster::SimResult free_run =
+      thermal_run("fft", cluster::Fabric::kMot, 60.0, 150.0,
+                  cluster::SchedulerMode::kEventDriven);
+  const cluster::SimResult capped =
+      thermal_run("fft", cluster::Fabric::kMot, 60.0, 70.0,
+                  cluster::SchedulerMode::kEventDriven);
+
+  EXPECT_EQ(free_run.thermal.throttle_events, 0u);
+  EXPECT_GT(capped.thermal.throttle_events, 0u);
+  EXPECT_GT(capped.thermal.throttled_cycles, 0u);
+  EXPECT_GT(capped.cycles, free_run.cycles);  // throttling costs time
+  // The cap works: the governed run stays cooler than the free one.
+  EXPECT_LT(capped.thermal.final_peak_c, free_run.thermal.final_peak_c);
+
+  // Stacked tiers at or above the core die (cooled through it).
+  ASSERT_EQ(free_run.thermal.peak_layer_c.size(), 3u);
+  EXPECT_GE(free_run.thermal.peak_layer_c[1] + 1e-9,
+            free_run.thermal.peak_layer_c[0]);
+  EXPECT_GE(free_run.thermal.peak_layer_c[2] + 1e-9,
+            free_run.thermal.peak_layer_c[1]);
+}
+
+TEST(ThermalCluster, DisabledThermalLeavesResultsUntouched) {
+  cluster::ClusterConfig cfg = cluster::make_paper_config(
+      workload::profile_by_name("fft"), cluster::Fabric::kMot,
+      core::PowerState::full(), mem::DramPreset::kDdr3_200ns, 0.02, 42);
+  const cluster::SimResult plain = cluster::Cluster(cfg).run();
+  EXPECT_FALSE(plain.thermal.enabled);
+  EXPECT_EQ(plain.thermal.samples, 0u);
+
+  // A thermal run with an unreachable ceiling must not perturb timing.
+  const cluster::SimResult with_thermal =
+      thermal_run("fft", cluster::Fabric::kMot, 45.0, 1000.0,
+                  cluster::SchedulerMode::kEventDriven);
+  EXPECT_EQ(plain.cycles, with_thermal.cycles);
+  EXPECT_EQ(plain.instructions, with_thermal.instructions);
+}
+
+// ---- thermal-aware advisor layer -------------------------------------------
+
+TEST(ThermalAdvisor, DemotesBanksWhenTheProfileRanThrottled) {
+  // A capacity-hungry, scalable profile: big resident footprint (the
+  // bank guard says keep 32 banks), symmetric low spin (keep 16 cores).
+  cluster::SimResult profile;
+  profile.cycles = 1'000'000;
+  profile.dram_latency_ns = 200.0;
+  profile.cores.assign(16, cpu::CoreStats{});
+  profile.l2_resident_lines = 20'000;  // 640 KB >> the 512 KB 8-bank guard
+
+  const cluster::StateRecommendation base =
+      cluster::recommend_power_state(profile);
+  ASSERT_FALSE(base.gate_banks);
+  ASSERT_FALSE(base.gate_cores);
+
+  // The same profile measured against a violated thermal envelope: the
+  // thermal layer overrides the footprint guard for headroom.
+  profile.thermal.enabled = true;
+  profile.thermal.ceiling_c = 70.0;
+  profile.thermal.peak_c = 72.5;
+  profile.thermal.throttle_events = 3;
+  profile.thermal.throttled_cycles = 200'000;
+  const cluster::StateRecommendation with_thermal =
+      cluster::recommend_power_state_thermal(profile);
+  EXPECT_TRUE(with_thermal.gate_banks);
+  EXPECT_EQ(with_thermal.state.active_banks(), 8u);
+  EXPECT_EQ(with_thermal.state.active_cores(), 16u);
+  EXPECT_NE(with_thermal.rationale.find("thermal"), std::string::npos);
+
+  // A cool thermal summary passes the base recommendation through.
+  profile.thermal.peak_c = 55.0;
+  profile.thermal.throttle_events = 0;
+  profile.thermal.throttled_cycles = 0;
+  const cluster::StateRecommendation cool_rec =
+      cluster::recommend_power_state_thermal(profile);
+  EXPECT_FALSE(cool_rec.gate_banks);
+  EXPECT_EQ(cool_rec.state.active_banks(), 32u);
+
+  // And an end-to-end throttled run feeds the layer for real.
+  const cluster::SimResult hot =
+      thermal_run("fft", cluster::Fabric::kMot, 60.0, 70.0,
+                  cluster::SchedulerMode::kEventDriven);
+  ASSERT_GT(hot.thermal.throttle_events, 0u);
+  const cluster::StateRecommendation hot_rec =
+      cluster::recommend_power_state_thermal(hot);
+  EXPECT_TRUE(hot_rec.gate_banks);
+}
+
+}  // namespace
+}  // namespace mot3d
