@@ -1,0 +1,8 @@
+// Coherence sharing sweep: directory-MESI invalidation/upgrade/forward
+// traffic for the four sharing patterns across fabric x power state
+// (see src/coherence/).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return mot3d::bench::scenario_main("coherence_sharing", argc, argv);
+}

@@ -42,6 +42,7 @@ using namespace mot3d;
 void print_cli_usage(std::ostream& os) {
   os << "usage: mot3d_experiments <command> [flags]\n"
      << "  list | --list               list registered scenarios\n"
+     << "  describe <name>...          print a scenario's axes and run count\n"
      << "  run <name>... [flags]       run registered scenarios by name\n"
      << "  grid [axes] [flags]         run an ad-hoc grid\n"
      << "  update-golden [name...]     regenerate golden baselines\n"
@@ -87,6 +88,74 @@ int cmd_list() {
                  s.has_golden ? "yes" : "-", s.description});
   }
   tbl.print(std::cout);
+  return 0;
+}
+
+/// `describe <name>...` — everything one wants to know about a scenario's
+/// grid *before* paying for the runs: the declared axes, the expanded run
+/// count, and how many grid cells are dropped as invalid.
+int cmd_describe(const std::vector<std::string>& names) {
+  if (names.empty()) {
+    std::cerr << "error: describe needs at least one scenario name (see list)\n";
+    return 2;
+  }
+  for (const std::string& name : names) {
+    if (sim::find_scenario(name) == nullptr) {
+      std::cerr << "error: scenario '" << name << "' is not registered\n";
+      list_registered_names(std::cerr);
+      return 2;
+    }
+  }
+  for (const std::string& name : names) {
+    const sim::ScenarioSpec& s = *sim::find_scenario(name);
+    const char* kind = s.kind == sim::ScenarioSpec::Kind::kSweep    ? "sweep"
+                       : s.kind == sim::ScenarioSpec::Kind::kTiming ? "timing"
+                                                                    : "custom";
+    std::cout << "scenario: " << s.name << "\n"
+              << "  figure: " << s.figure << "\n"
+              << "  kind: " << kind << "\n"
+              << "  description: " << s.description << "\n"
+              << "  golden: "
+              << (s.has_golden ? "yes (scale=" + std::to_string(s.golden_scale) +
+                                     ", seed=" + std::to_string(s.seed) + ")"
+                               : "no")
+              << "\n";
+    if (s.kind == sim::ScenarioSpec::Kind::kCustom) {
+      std::cout << "  axes: none (self-driving custom body)\n"
+                << "  expected runs: 1 invocation\n";
+      continue;
+    }
+    if (s.kind == sim::ScenarioSpec::Kind::kTiming) {
+      std::cout << "  axis states:";
+      for (const auto& st : s.power_states) std::cout << " " << st.name();
+      std::cout << "\n  expected runs: " << s.power_states.size()
+                << " analytic rows (no simulation)\n";
+      continue;
+    }
+    std::cout << "  axis apps (" << s.apps.size() << "):";
+    for (const auto& a : s.apps) std::cout << " " << a;
+    std::cout << "\n  axis fabrics (" << s.fabrics.size() << "):";
+    for (auto f : s.fabrics) std::cout << " " << sim::fabric_key(f);
+    std::cout << "\n  axis states (" << s.power_states.size() << "):";
+    for (const auto& st : s.power_states) std::cout << " " << st.name();
+    std::cout << "\n  axis dram (" << s.dram_presets.size() << "):";
+    for (auto d : s.dram_presets)
+      std::cout << " " << static_cast<int>(mem::dram_latency_ns(d)) << "ns";
+    if (!s.thermal_envelopes.empty()) {
+      std::cout << "\n  axis thermal envelopes: " << s.thermal_envelopes.size()
+                << " (ambient x ceiling cells)";
+    }
+    std::size_t skipped = 0;
+    const std::size_t valid = sim::expand_grid(s, &skipped).size();
+    std::cout << "\n  grid cells: " << s.grid_size() << "\n"
+              << "  expected runs: " << valid;
+    if (skipped > 0) {
+      std::cout << " (" << skipped
+                << " invalid cells skipped: " << sim::invalid_cell_reason()
+                << ")";
+    }
+    std::cout << "\n";
+  }
   return 0;
 }
 
@@ -294,6 +363,15 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    if (cmd == "describe") {
+      const CliArgs cli = parse_cli(argc, argv, 2, {});
+      if (!cli.bench_args.empty()) {
+        std::cerr << "error: describe takes no flags (got '"
+                  << cli.bench_args.front() << "')\n";
+        return 2;
+      }
+      return cmd_describe(cli.names);
+    }
     if (cmd == "run") return cmd_run(parse_cli(argc, argv, 2, {.golden = true}));
     if (cmd == "grid") return cmd_grid(parse_cli(argc, argv, 2, {.axes = true}));
     if (cmd == "update-golden") {

@@ -59,6 +59,17 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   l2_ = std::make_unique<mem::L2System>(cfg_.l2, *dram_, /*dram_requester_base=*/0);
   l2_->set_active_banks(cfg_.power_state.bank_mask());
 
+  // Sharing-pattern workloads engage the directory-MESI subsystem; without
+  // one the L2 and cores behave bit-identically to the coherence-free model.
+  if (cfg_.app.coherent()) {
+    coherence::CoherenceConfig cc;
+    cc.total_cores = cfg_.total_cores;
+    cc.total_banks = cfg_.total_banks;
+    cc.line_bytes = cfg_.l2.line_bytes;
+    coh_dir_ = std::make_unique<coherence::CoherenceDirectory>(cc);
+    l2_->attach_directory(coh_dir_.get());
+  }
+
   // ---- interconnect ----
   mot_timing_ = std::make_unique<core::MotTimingModel>(cfg_.tech, cfg_.floorplan,
                                                        cfg_.l2_bank_sram);
@@ -84,10 +95,16 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   interconnect_->set_request_sink(
       [this](const MemRequest& req, Cycle now) { l2_->deliver(req, now); });
   interconnect_->set_response_sink([this](const MemResponse& resp, Cycle now) {
+    assert(cores_[resp.core] != nullptr);
+    if (resp.kind == RespKind::kInvalidate) {
+      // Directory control traffic, not a request's answer: no latency
+      // sample, and legal in any core state.
+      cores_[resp.core]->on_coherence_invalidate(resp, now);
+      return;
+    }
     const Cycle lat = now - resp.issue_cycle;
     l2_latency_.add(lat);
     if (resp.l2_hit) l2_hit_latency_.add(lat);
-    assert(cores_[resp.core] != nullptr);
     cores_[resp.core]->on_response(resp, now);
   });
   l2_->set_response_injector([this](const MemResponse& resp, Cycle now) {
@@ -133,6 +150,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     governor_ = std::make_unique<thermal::ThermalGovernor>(gc, cfg_.power_state);
     if (mot_ != nullptr) {
       reconfig_ = std::make_unique<core::ReconfigManager>(*mot_, *l2_, *dram_);
+      reconfig_->set_directory(coh_dir_.get());
     }
     prev_core_instr_.assign(cfg_.total_cores, 0);
     prev_core_spin_.assign(cfg_.total_cores, 0);
@@ -144,12 +162,20 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
 
 Cluster::~Cluster() = default;
 
-void Cluster::tick_once() {
-  // Frozen cores are clock-held: no tick, no injection retry.  They are
-  // also excluded from event-mode skip accounting, so both schedulers see
-  // identical (frozen) core statistics.
+void Cluster::inject_core_traffic() {
+  // Coherence acknowledgements first: they unblock stalled directory
+  // transactions and flow even while the cores' clocks are held (the L1
+  // snoop controller is not on the gated core clock).
+  if (coh_dir_ != nullptr) {
+    for (CoreId c : active_cores_) {
+      cpu::Core& core = *cores_[c];
+      while (core.pending_coherence() != nullptr &&
+             interconnect_->try_inject_request(*core.pending_coherence(), now_)) {
+        core.coherence_accepted(now_);
+      }
+    }
+  }
   if (!cores_frozen_) {
-    for (CoreId c : active_cores_) cores_[c]->tick(now_);
     for (CoreId c : active_cores_) {
       cpu::Core& core = *cores_[c];
       if (core.pending_request().has_value() &&
@@ -158,6 +184,16 @@ void Cluster::tick_once() {
       }
     }
   }
+}
+
+void Cluster::tick_once() {
+  // Frozen cores are clock-held: no tick, no injection retry.  They are
+  // also excluded from event-mode skip accounting, so both schedulers see
+  // identical (frozen) core statistics.
+  if (!cores_frozen_) {
+    for (CoreId c : active_cores_) cores_[c]->tick(now_);
+  }
+  inject_core_traffic();
   interconnect_->tick(now_);
   l2_->tick(now_);
   dram_->tick(now_);
@@ -172,14 +208,8 @@ void Cluster::tick_once() {
 void Cluster::tick_once_event() {
   if (!cores_frozen_) {
     for (CoreId c : active_cores_) cores_[c]->tick(now_);
-    for (CoreId c : active_cores_) {
-      cpu::Core& core = *cores_[c];
-      if (core.pending_request().has_value() &&
-          interconnect_->try_inject_request(*core.pending_request(), now_)) {
-        core.injection_accepted(now_);
-      }
-    }
   }
+  inject_core_traffic();
   if (interconnect_->next_event(now_) <= now_) interconnect_->tick(now_);
   if (l2_->next_event(now_) <= now_) l2_->tick(now_);
   if (dram_->next_event(now_) <= now_) dram_->tick(now_);
@@ -201,6 +231,12 @@ Cycle Cluster::next_event_cycle() const {
       next = std::min(next, cores_[c]->next_event(now_));
       if (next <= now_) return now_;
     }
+  } else if (coh_dir_ != nullptr) {
+    // Clock-held cores still inject coherence acknowledgements — a queued
+    // ack is an every-cycle event even while the instruction stream halts.
+    for (CoreId c : active_cores_) {
+      if (cores_[c]->pending_coherence() != nullptr) return now_;
+    }
   }
   next = std::min(next, interconnect_->next_event(now_));
   if (next <= now_) return now_;
@@ -219,6 +255,7 @@ void Cluster::step(Cycle cycles) {
 bool Cluster::finished() const {
   for (CoreId c : active_cores_) {
     if (!cores_[c]->done()) return false;
+    if (cores_[c]->pending_coherence() != nullptr) return false;
   }
   return interconnect_->idle() && l2_->idle() && dram_->idle();
 }
@@ -438,6 +475,11 @@ void Cluster::accumulate_dynamic_energy(power::EnergyLedger& ledger) const {
     ledger.add_dynamic(power::Component::kL1,
                        static_cast<double>(core.l1_accesses()) *
                            cfg_.core_power.energy_per_l1_access_pj);
+    // Coherence invalidations probe (and possibly read out) the L1D array;
+    // zero in non-coherent runs, so legacy ledgers are unchanged.
+    ledger.add_dynamic(power::Component::kL1,
+                       static_cast<double>(core.stats().invalidations_received) *
+                           cfg_.core_power.energy_per_l1_access_pj);
   }
   ledger.add_dynamic(power::Component::kL2,
                      l2_->stats().dynamic_energy_pj + governor_flush_pj_);
@@ -459,6 +501,29 @@ SimResult Cluster::collect_result() const {
   r.dram = dram_->stats();
   r.interconnect = interconnect_->stats();
   r.l2_resident_lines = l2_->resident_lines();
+
+  // Per-bank hit-rate spread over active banks that saw traffic.
+  bool any_bank = false;
+  for (BankId b = 0; b < cfg_.total_banks; ++b) {
+    if (!l2_->active_banks()[b]) continue;
+    const mem::CacheStats& bs = l2_->bank_cache_stats(b);
+    if (bs.accesses() == 0) continue;
+    const double hr = 1.0 - bs.miss_rate();
+    if (!any_bank) {
+      r.l2_bank_hit_rate_min = r.l2_bank_hit_rate_max = hr;
+      any_bank = true;
+    } else {
+      r.l2_bank_hit_rate_min = std::min(r.l2_bank_hit_rate_min, hr);
+      r.l2_bank_hit_rate_max = std::max(r.l2_bank_hit_rate_max, hr);
+    }
+  }
+  r.l2_bank_hit_rate_spread = r.l2_bank_hit_rate_max - r.l2_bank_hit_rate_min;
+
+  if (coh_dir_ != nullptr) {
+    r.coherence_enabled = true;
+    r.coherence = coh_dir_->stats();
+    r.coh_dir_entries = coh_dir_->occupancy();
+  }
 
   const power::CorePowerModel core_model(cfg_.core_power);
   std::uint64_t l1d_miss = 0, l1d_acc = 0, l1i_miss = 0, l1i_acc = 0;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cacti/sram_model.hpp"
+#include "coherence/directory.hpp"
 #include "common/interconnect.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -110,6 +111,18 @@ struct SimResult {
   double l1d_miss_rate = 0.0;
   double l1i_miss_rate = 0.0;
 
+  /// Per-bank hit-rate spread over the active banks that saw traffic — the
+  /// interleave-balance signal the bank-conflict counter alone hides.
+  double l2_bank_hit_rate_min = 0.0;
+  double l2_bank_hit_rate_max = 0.0;
+  double l2_bank_hit_rate_spread = 0.0;  ///< max - min
+
+  /// Directory-MESI traffic (enabled == false when the run's workload has
+  /// no sharing pattern and the coherence subsystem stayed detached).
+  bool coherence_enabled = false;
+  coherence::CoherenceStats coherence;
+  std::size_t coh_dir_entries = 0;  ///< final directory occupancy
+
   power::EnergyLedger energy;
   double edp_pj_s = 0.0;
   double avg_power_w = 0.0;
@@ -159,6 +172,11 @@ class Cluster {
   void tick_once();
   void tick_once_event();
 
+  /// Shared per-cycle injection phase of both schedulers: coherence
+  /// acknowledgements first (they flow even while cores are clock-held),
+  /// then the demand request of each unfrozen core.
+  void inject_core_traffic();
+
   /// Minimum over every component's next_event(now_); never below now_.
   /// Thermal sampling boundaries and the governor's unfreeze point are
   /// events too, so both schedulers visit them at the exact same cycles.
@@ -196,6 +214,7 @@ class Cluster {
   ClusterConfig cfg_;
   std::unique_ptr<mem::DramBackend> dram_;
   std::unique_ptr<mem::L2System> l2_;
+  std::unique_ptr<coherence::CoherenceDirectory> coh_dir_;  ///< sharing runs
   std::unique_ptr<Interconnect> interconnect_;
   core::MotInterconnect* mot_ = nullptr;  ///< non-null when fabric == kMot
   std::unique_ptr<core::MotTimingModel> mot_timing_;

@@ -1,0 +1,164 @@
+#include "coherence/directory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mot3d::coherence {
+
+CoherenceDirectory::CoherenceDirectory(const CoherenceConfig& cfg) : cfg_(cfg) {
+  if (!is_pow2(cfg.total_banks) || !is_pow2(cfg.line_bytes)) {
+    throw std::invalid_argument("directory geometry must be power of two");
+  }
+  if (cfg.total_cores > 32) {
+    throw std::invalid_argument("sharer bitvector holds at most 32 cores");
+  }
+  line_shift_ = log2_exact(cfg.line_bytes);
+  slices_.resize(cfg.total_banks);
+}
+
+void CoherenceDirectory::note_occupancy() {
+  stats_.dir_peak_entries = std::max<std::uint64_t>(
+      stats_.dir_peak_entries, static_cast<std::uint64_t>(occupancy()));
+}
+
+DirOutcome CoherenceDirectory::on_request(const MemRequest& req, BankId bank) {
+  assert(bank < slices_.size());
+  ++stats_.dir_accesses;
+  DirOutcome out;
+  Slice& slice = slices_[bank];
+  const Addr line = req.addr;  // line-aligned by the issuing core
+  const std::uint32_t self = 1u << req.core;
+
+  if (req.kind == ReqKind::kWriteback) {
+    // The dirty line moved from the owner's L1 down into the L2: no L1
+    // copy remains, so the entry is dropped.  If another core re-acquired
+    // the line while the write-back was in flight (the directory already
+    // reassigned ownership), the entry is theirs — leave it alone.
+    auto it = slice.find(line);
+    if (it != slice.end()) {
+      DirEntry& e = it->second;
+      if (e.owned && e.owner == req.core) {
+        slice.erase(it);
+      } else if (!e.owned) {
+        e.sharers &= ~self;  // imprecise-sharer cleanup
+      }
+    }
+    return out;
+  }
+
+  DirEntry& e = slice[line];
+  switch (req.kind) {
+    case ReqKind::kGetS:
+      if (e.owned) {
+        if (e.owner != req.core) {
+          // Forward-invalidate the (possibly dirty) owner: the fresh data
+          // lands in the bank with the ack and the reader is granted
+          // Shared — from here on the line builds a sharer set and stores
+          // must win upgrades.
+          out.invalidate.push_back(e.owner);
+          ++stats_.sharing_misses;
+          ++stats_.invalidations;
+          e.owned = false;
+          e.owner = 0;
+          e.sharers = self;
+          out.install_shared = true;
+          note_occupancy();
+          return out;
+        }
+        // Stale self-ownership (silent clean eviction): re-grant Exclusive.
+      } else if ((e.sharers & ~self) != 0) {
+        e.sharers |= self;
+        out.install_shared = true;
+        ++stats_.sharing_misses;
+        note_occupancy();
+        return out;  // stays kShared
+      }
+      // Untracked line or stale self-only bits: Exclusive grant.
+      break;
+
+    case ReqKind::kUpgrade:
+      if (!e.owned && (e.sharers & self) != 0) {
+        for (CoreId c = 0; c < cfg_.total_cores; ++c) {
+          if (c != req.core && (e.sharers & (1u << c)) != 0) {
+            out.invalidate.push_back(c);
+          }
+        }
+        if (!out.invalidate.empty()) ++stats_.sharing_misses;
+        out.upgrade_ack = true;
+        ++stats_.upgrades;
+        break;
+      }
+      if (e.owned && e.owner == req.core) {
+        // Stale self-ownership; grant in place.
+        out.upgrade_ack = true;
+        ++stats_.upgrades;
+        break;
+      }
+      // The requester's copy was invalidated while the upgrade was in
+      // flight: the transaction degenerates to a full GetX with data.
+      [[fallthrough]];
+
+    case ReqKind::kGetX:
+      if (e.owned) {
+        if (e.owner != req.core) {
+          out.invalidate.push_back(e.owner);
+          ++stats_.sharing_misses;
+        }
+      } else {
+        for (CoreId c = 0; c < cfg_.total_cores; ++c) {
+          if (c != req.core && (e.sharers & (1u << c)) != 0) {
+            out.invalidate.push_back(c);
+          }
+        }
+        if (!out.invalidate.empty()) ++stats_.sharing_misses;
+      }
+      break;
+
+    case ReqKind::kWriteback:
+    case ReqKind::kInvAck:
+    case ReqKind::kDataForward:
+      assert(false && "acks are routed to on_ack, not on_request");
+      return out;
+  }
+
+  e.owned = true;
+  e.owner = req.core;
+  e.sharers = 0;
+  stats_.invalidations += out.invalidate.size();
+  note_occupancy();
+  return out;
+}
+
+void CoherenceDirectory::on_ack(const MemRequest& ack) {
+  ++stats_.dir_accesses;
+  if (ack.kind == ReqKind::kDataForward) {
+    ++stats_.data_forwards;
+  } else {
+    assert(ack.kind == ReqKind::kInvAck);
+    ++stats_.inv_acks;
+  }
+}
+
+void CoherenceDirectory::remap(const std::function<BankId(BankId)>& route) {
+  std::vector<Slice> next(slices_.size());
+  std::uint64_t moved = 0;
+  for (BankId b = 0; b < slices_.size(); ++b) {
+    for (auto& [line, entry] : slices_[b]) {
+      const BankId dest = route(logical_bank_of(line));
+      assert(dest < next.size());
+      if (dest != b) ++moved;
+      next[dest].emplace(line, entry);
+    }
+  }
+  slices_ = std::move(next);
+  stats_.dir_migrations += moved;
+}
+
+std::size_t CoherenceDirectory::occupancy() const {
+  std::size_t n = 0;
+  for (const Slice& s : slices_) n += s.size();
+  return n;
+}
+
+}  // namespace mot3d::coherence

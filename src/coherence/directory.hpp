@@ -1,0 +1,115 @@
+// Directory-based MESI coherence for the stacked L2 (cf. MemPool-3D and
+// the 3D-MPSoC cache-support work: directory slices co-located with the
+// cache banks on the stacked tiers).
+//
+// One directory slice per *physical* L2 bank tracks, for every line with
+// (potential) L1 copies, either the set of sharers (a bitvector sized to
+// the core count) or the single exclusive owner.  The directory is a
+// full-map duplicate-tag structure independent of L2 residency: entries
+// outlive L2 evictions (non-inclusive hierarchy), so no back-invalidation
+// traffic is modelled.  Clean L1 evictions are silent, which leaves
+// imprecise (superset) sharer bits — the standard trade-off; spurious
+// invalidations are acknowledged without data.
+//
+// The protocol is MESI with forward-invalidate on remote dirty hits: a
+// read that finds the line exclusively owned elsewhere invalidates the
+// owner (who forwards dirty data down to the bank) and grants the new
+// reader Shared — from then on the line accumulates a sharer set and
+// stores must win upgrades.  E and M are indistinguishable to the
+// directory (silent E->M stores), so both are one kOwned state; the
+// owner's ack tells the bank whether data flowed.
+//
+// Timing and transport live in mem::L2System (bank occupancy, out-queue
+// delays) and the fabrics (message traversal); this class is the pure
+// protocol state machine, which keeps it unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/messages.hpp"
+#include "common/types.hpp"
+
+namespace mot3d::coherence {
+
+struct CoherenceConfig {
+  std::size_t total_cores = 16;
+  std::size_t total_banks = 32;
+  std::size_t line_bytes = 32;
+  /// Energy of one directory slice consult (lookup + state update), pJ —
+  /// a narrow tag/bitvector array next to the 64 KB data bank.  Charged to
+  /// the L2 component of the EnergyLedger.
+  double dir_access_energy_pj = 2.0;
+};
+
+/// Run-wide coherence counters (surfaced in the canonical metrics JSON).
+struct CoherenceStats {
+  std::uint64_t invalidations = 0;   ///< directory -> L1 invalidate messages
+  std::uint64_t inv_acks = 0;        ///< clean acknowledgements received
+  std::uint64_t data_forwards = 0;   ///< dirty acknowledgements (carry a line)
+  std::uint64_t upgrades = 0;        ///< S -> M upgrade transactions granted
+  std::uint64_t sharing_misses = 0;  ///< requests that hit remote L1 state
+  std::uint64_t dir_accesses = 0;    ///< slice consults (energy accounting)
+  std::uint64_t dir_peak_entries = 0;
+  std::uint64_t dir_migrations = 0;  ///< entries moved by bank-gating remaps
+};
+
+/// What the bank must do for one request, as decided by the directory.
+struct DirOutcome {
+  /// Cores whose L1 copy must be invalidated before the request completes.
+  /// Empty => the request proceeds immediately (no coherence stall).
+  std::vector<CoreId> invalidate;
+  /// Answer with kUpgradeAck (header-only) instead of a kData refill.
+  bool upgrade_ack = false;
+  /// kData refills install in Shared state (other sharers remain).
+  bool install_shared = false;
+};
+
+class CoherenceDirectory {
+ public:
+  explicit CoherenceDirectory(const CoherenceConfig& cfg);
+
+  /// Protocol step for a demand request (kGetS/kGetX/kUpgrade/kWriteback)
+  /// arriving at physical bank `bank`.  Updates directory state eagerly
+  /// (sharers are removed when the invalidation is *sent*); the returned
+  /// invalidation list only gates the requester's completion timing.
+  DirOutcome on_request(const MemRequest& req, BankId bank);
+
+  /// An invalidation acknowledgement (kInvAck/kDataForward) arrived.
+  void on_ack(const MemRequest& ack);
+
+  /// Re-slice every entry after a power-state remap: `route` maps a
+  /// logical bank id to the physical bank now serving it.  Entries whose
+  /// slice changes are migrated (counted); sharer/owner state survives the
+  /// reconfiguration, matching L1 contents which are not flushed.
+  /// Precondition: no transaction in flight (the reconfiguration drain).
+  void remap(const std::function<BankId(BankId)>& route);
+
+  std::size_t occupancy() const;             ///< tracked lines, all slices
+  std::size_t slice_entries(BankId b) const { return slices_.at(b).size(); }
+
+  const CoherenceStats& stats() const { return stats_; }
+  const CoherenceConfig& config() const { return cfg_; }
+
+ private:
+  struct DirEntry {
+    bool owned = false;         ///< one exclusive owner (MESI E or M)
+    CoreId owner = 0;           ///< valid when owned
+    std::uint32_t sharers = 0;  ///< bitvector over cores, valid when !owned
+  };
+  using Slice = std::unordered_map<Addr, DirEntry>;
+
+  BankId logical_bank_of(Addr line) const {
+    return static_cast<BankId>((line >> line_shift_) & (cfg_.total_banks - 1));
+  }
+  void note_occupancy();
+
+  CoherenceConfig cfg_;
+  unsigned line_shift_;
+  std::vector<Slice> slices_;  ///< one per physical bank
+  CoherenceStats stats_;
+};
+
+}  // namespace mot3d::coherence

@@ -1,6 +1,13 @@
 // Cluster-wide message types: the lingua franca between cores, the
 // interconnect (circuit-switched MoT or packet-switched NoC baselines),
 // the banked L2 and the DRAM backend.
+//
+// With the coherence subsystem (src/coherence/) the same two wire formats
+// also carry the directory-protocol message classes.  The fabrics stay
+// payload-agnostic: `is_write` doubles as the "carries a cache line"
+// payload bit on both directions (requests: write-backs and dirty data
+// forwards carry a line; responses: only kData refills do), so the MoT and
+// NoC energy models charge coherence traffic without knowing the protocol.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +15,25 @@
 #include "common/types.hpp"
 
 namespace mot3d {
+
+/// Protocol class of a core->L2 message.  Non-coherent runs only use
+/// kGetS/kGetX/kWriteback, which the L2 serves identically to the
+/// pre-coherence model (the directory is simply not consulted).
+enum class ReqKind : std::uint8_t {
+  kGetS,         ///< load-miss line fetch (response installs clean)
+  kGetX,         ///< store-miss line fetch (response installs dirty)
+  kUpgrade,      ///< S -> M permission upgrade, no data needed
+  kWriteback,    ///< dirty L1 victim pushed down (carries the line)
+  kInvAck,       ///< invalidation acknowledged, copy was clean
+  kDataForward,  ///< invalidation acknowledged, copy was dirty (carries line)
+};
+
+/// Protocol class of an L2->core message.
+enum class RespKind : std::uint8_t {
+  kData,        ///< line refill (carries the line) or write-back ack
+  kUpgradeAck,  ///< upgrade granted, line may be dirtied in place
+  kInvalidate,  ///< directory orders the core to drop its L1 copy
+};
 
 /// A core-to-L2 transaction travelling through the on-chip interconnect.
 /// `bank` is the *logical* bank index derived from the line address; the
@@ -18,8 +44,9 @@ struct MemRequest {
   CoreId core = 0;             ///< requester
   BankId bank = 0;             ///< logical destination bank
   Addr addr = 0;               ///< full byte address
-  bool is_write = false;       ///< write-back from L1 (carries a line)
+  bool is_write = false;       ///< message carries a line payload
   Cycle issue_cycle = 0;       ///< when the core injected it
+  ReqKind kind = ReqKind::kGetS;
 };
 
 /// The L2's answer routed back to the requesting core.
@@ -28,9 +55,13 @@ struct MemResponse {
   CoreId core = 0;
   BankId bank = 0;             ///< physical bank that served the request
   Addr addr = 0;
-  bool is_write = false;
+  bool is_write = false;       ///< header-only message (no line payload)
   bool l2_hit = false;         ///< served from SRAM vs. refilled from DRAM
   Cycle issue_cycle = 0;       ///< copied from the request
+  RespKind kind = RespKind::kData;
+  /// kData only: the refill must be installed in Shared (read-only) state —
+  /// other cores hold the line too, so a later store needs an upgrade.
+  bool shared = false;
 };
 
 }  // namespace mot3d

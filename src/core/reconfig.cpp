@@ -37,6 +37,16 @@ ReconfigCost ReconfigManager::plan(const PowerState& next, bool execute, Cycle n
   if (execute) {
     interconnect_.configure(next);
     l2_.set_active_banks(next.bank_mask());
+    if (dir_ != nullptr) {
+      // The drain precondition guarantees no transaction (and no
+      // invalidation) is in flight, so the directory can be re-sliced
+      // atomically: every tracked line moves to the physical bank its
+      // logical index now routes to.  Sharer/owner state survives — the
+      // L1s were not flushed, only the L2 banks being gated were.
+      const std::uint64_t before = dir_->stats().dir_migrations;
+      dir_->remap([this](BankId logical) { return interconnect_.route(logical); });
+      cost.dir_entries_migrated = dir_->stats().dir_migrations - before;
+    }
   }
   return cost;
 }

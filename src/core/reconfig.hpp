@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "coherence/directory.hpp"
 #include "common/types.hpp"
 #include "core/mot_interconnect.hpp"
 #include "core/power_state.hpp"
@@ -29,6 +30,10 @@ struct ReconfigCost {
   Cycle flush_cycles = 0;       ///< Miss-bus serialisation of the write-backs
   Cycle reprogram_cycles = 0;   ///< ctr-signal distribution to the switches
   double flush_energy_pj = 0.0; ///< bank read-outs for the flushed lines
+  /// Directory entries re-sliced onto the surviving banks (0 without a
+  /// coherence directory).  L1 contents are not flushed by a bank-gating
+  /// transition, so the sharer/owner state must follow the remap.
+  std::uint64_t dir_entries_migrated = 0;
 
   Cycle total_cycles() const { return flush_cycles + reprogram_cycles; }
 };
@@ -48,12 +53,17 @@ class ReconfigManager {
   /// runtime policies deciding whether a switch is worth it).
   ReconfigCost estimate(const PowerState& next) const;
 
+  /// Coherence directory to migrate alongside the bank remap (optional;
+  /// null when the run has no sharing workload).
+  void set_directory(coherence::CoherenceDirectory* dir) { dir_ = dir; }
+
  private:
   ReconfigCost plan(const PowerState& next, bool execute, Cycle now);
 
   MotInterconnect& interconnect_;
   mem::L2System& l2_;
   mem::DramBackend& dram_;
+  coherence::CoherenceDirectory* dir_ = nullptr;
 };
 
 }  // namespace mot3d::core

@@ -47,6 +47,9 @@ void Core::tick(Cycle now) {
 }
 
 Cycle Core::next_event(Cycle now) const {
+  // A queued invalidation acknowledgement retries injection every cycle,
+  // whatever the instruction-stream state.
+  if (!coh_queue_.empty()) return now;
   switch (state_) {
     case State::kFetch:
     case State::kWaitInject:
@@ -133,12 +136,18 @@ void Core::process_next_record(Cycle now) {
         }
         ++stats_.instructions;
         const bool store = is_write(r.op);
-        if (l1d_.lookup(r.addr, store).hit) {
+        const mem::LookupResult lr = l1d_.lookup(r.addr, store);
+        if (lr.hit && !lr.needs_upgrade) {
           ++stats_.busy_cycles;  // Table I: 1-cycle L1 latency
           return;                // state stays kFetch
         }
         ++stats_.stall_cycles;
-        issue_data_miss(r.addr, store, now);
+        if (lr.hit) {
+          // Store hit on a Shared line: coherence upgrade before dirtying.
+          issue_upgrade(r.addr, now);
+        } else {
+          issue_data_miss(r.addr, store, now);
+        }
         return;
       }
     }
@@ -159,6 +168,25 @@ void Core::issue_data_miss(Addr addr, bool store_miss, Cycle now) {
       .addr = line,
       .is_write = false,  // refill fetch; write-allocate dirties on insert
       .issue_cycle = now,
+      .kind = store_miss ? ReqKind::kGetX : ReqKind::kGetS,
+  };
+  state_ = State::kWaitInject;
+}
+
+void Core::issue_upgrade(Addr addr, Cycle now) {
+  const Addr line = line_of(addr);
+  refill_addr_ = line;
+  refill_is_store_ = true;  // if the grant degenerates to data, install dirty
+  inflight_is_writeback_ = false;
+  ++stats_.upgrades;
+  pending_ = MemRequest{
+      .id = (static_cast<std::uint64_t>(id_) << 32) | next_req_seq_++,
+      .core = id_,
+      .bank = bank_of(line),
+      .addr = line,
+      .is_write = false,  // header-only permission request
+      .issue_cycle = now,
+      .kind = ReqKind::kUpgrade,
   };
   state_ = State::kWaitInject;
 }
@@ -174,17 +202,35 @@ void Core::injection_accepted(Cycle now) {
 void Core::on_response(const MemResponse& resp, Cycle now) {
   assert(state_ == State::kWaitMem);
   assert(resp.core == id_);
-  (void)resp;  // identity only matters to the asserts
   if (inflight_is_writeback_) {
     // Dirty-victim write-back acknowledged; resume the instruction stream.
     inflight_is_writeback_ = false;
     state_ = State::kFetch;
     return;
   }
+  if (resp.kind == RespKind::kUpgradeAck && l1d_.complete_upgrade(refill_addr_)) {
+    refill_invalidated_ = false;
+    state_ = State::kFetch;
+    return;
+  }
   // Refill arrived: install in L1D, possibly displacing a dirty victim that
   // must be written back to the L2 before execution continues (blocking,
-  // in-order core with a single victim buffer).
-  const mem::InsertResult ins = l1d_.insert(refill_addr_, refill_is_store_);
+  // in-order core with a single victim buffer).  An upgrade whose line was
+  // invalidated mid-flight lands here too (the directory answered with
+  // data, or the grant found the line gone) and installs dirty.
+  //
+  // If the directory invalidated this very line while a *clean* refill was
+  // in flight (the grant was decided before a later transaction re-assigned
+  // the line), the grant is stale: install Shared so the next store must
+  // win an upgrade — the directory then sees a non-sharer and restores the
+  // single-writer invariant with a full GetX.  Store refills stay exclusive
+  // (Shared lines are read-only by invariant): their grants are ordered
+  // after the invalidating transaction at the serialising bank, or at worst
+  // leave a self-limited stale copy that the next eviction retires.
+  const bool shared = (resp.kind == RespKind::kData && resp.shared) ||
+                      (refill_invalidated_ && !refill_is_store_);
+  refill_invalidated_ = false;
+  const mem::InsertResult ins = l1d_.insert(refill_addr_, refill_is_store_, shared);
   if (ins.evicted_dirty) {
     ++stats_.l1_writebacks;
     inflight_is_writeback_ = true;
@@ -195,11 +241,44 @@ void Core::on_response(const MemResponse& resp, Cycle now) {
         .addr = ins.evicted_line_addr,
         .is_write = true,
         .issue_cycle = now,
+        .kind = ReqKind::kWriteback,
     };
     state_ = State::kWaitInject;
     return;
   }
   state_ = State::kFetch;
+}
+
+void Core::on_coherence_invalidate(const MemResponse& inv, Cycle now) {
+  assert(inv.core == id_);
+  ++stats_.invalidations_received;
+  // The copy may already be gone (silent clean eviction left stale sharer
+  // bits behind): acknowledge without data.
+  const bool forward = l1d_.invalidate(inv.addr).value_or(false);
+  // Invalidation racing our own in-flight miss/upgrade of the same line:
+  // remember it so the eventual install is demoted to Shared (see
+  // on_response) instead of resurrecting a copy the directory dropped.
+  if (!inflight_is_writeback_ &&
+      (state_ == State::kWaitMem || state_ == State::kWaitInject) &&
+      line_of(inv.addr) == refill_addr_) {
+    refill_invalidated_ = true;
+  }
+  if (forward) ++stats_.coherence_forwards;
+  coh_queue_.push_back(MemRequest{
+      .id = (static_cast<std::uint64_t>(id_) << 32) | next_req_seq_++,
+      .core = id_,
+      .bank = bank_of(inv.addr),
+      .addr = line_of(inv.addr),
+      .is_write = forward,  // a dirty forward carries the line
+      .issue_cycle = now,
+      .kind = forward ? ReqKind::kDataForward : ReqKind::kInvAck,
+  });
+}
+
+void Core::coherence_accepted(Cycle now) {
+  (void)now;
+  assert(!coh_queue_.empty());
+  coh_queue_.pop_front();
 }
 
 void Core::warm_l1i(Addr base, std::size_t bytes) {

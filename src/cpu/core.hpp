@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 
@@ -43,6 +44,10 @@ struct CoreStats {
   std::uint64_t l2_requests = 0;   ///< data refills + write-backs injected
   std::uint64_t l1_writebacks = 0; ///< dirty L1 victims pushed to L2
   std::uint64_t ifetch_misses = 0;
+  // -- coherence (zero unless a directory is engaged) --
+  std::uint64_t invalidations_received = 0;  ///< directory invalidate msgs
+  std::uint64_t upgrades = 0;                ///< S->M upgrade requests issued
+  std::uint64_t coherence_forwards = 0;      ///< dirty lines forwarded down
   Cycle finish_cycle = 0;          ///< cycle the trace ended (0 if running)
 };
 
@@ -80,6 +85,20 @@ class Core {
   /// Interconnect delivers the L2's answer.
   void on_response(const MemResponse& resp, Cycle now);
 
+  /// Directory orders this core to drop its L1 copy of `inv.addr`.  Legal
+  /// in every state (unlike on_response): the L1 snoop port is independent
+  /// of the instruction stream.  Queues a kInvAck (clean) or kDataForward
+  /// (dirty) acknowledgement for the cluster to inject.
+  void on_coherence_invalidate(const MemResponse& inv, Cycle now);
+
+  /// Head of the coherence-acknowledgement queue (nullptr when empty).
+  /// The cluster injects these even while cores are clock-held — protocol
+  /// control traffic is not on the gated core clock.
+  const MemRequest* pending_coherence() const {
+    return coh_queue_.empty() ? nullptr : &coh_queue_.front();
+  }
+  void coherence_accepted(Cycle now);
+
   /// Miss bus delivers an instruction line.
   void on_ifetch_refill(Addr addr, Cycle now);
 
@@ -113,6 +132,7 @@ class Core {
 
   void process_next_record(Cycle now);
   void issue_data_miss(Addr addr, bool store_miss, Cycle now);
+  void issue_upgrade(Addr addr, Cycle now);
 
   Addr line_of(Addr a) const {
     return a & ~static_cast<Addr>(cfg_.l1d.line_bytes - 1);
@@ -136,7 +156,10 @@ class Core {
   std::uint32_t compute_remaining_ = 0;
   std::uint32_t barrier_id_ = 0;
   std::optional<MemRequest> pending_;  ///< waiting for injection
+  std::deque<MemRequest> coh_queue_;   ///< invalidation acks awaiting a slot
   bool refill_is_store_ = false;       ///< write-allocate: dirty on insert
+  bool refill_invalidated_ = false;    ///< in-flight line invalidated: demote
+                                       ///< the install to Shared
   bool inflight_is_writeback_ = false; ///< current L2 txn is an L1 victim
   Addr refill_addr_ = 0;
   std::uint64_t next_req_seq_ = 0;

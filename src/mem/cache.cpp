@@ -43,13 +43,17 @@ LookupResult Cache::lookup(Addr addr, bool is_write) {
   Way* w = find(line);
   if (w != nullptr) {
     w->lru = ++lru_clock_;
-    if (is_write) w->dirty = true;
+    // A store on a Shared line may not dirty it in place: the caller must
+    // obtain an upgrade first.  Non-coherent runs never install shared
+    // lines, so this branch is dead there and behaviour is unchanged.
+    const bool needs_upgrade = is_write && w->shared;
+    if (is_write && !w->shared) w->dirty = true;
     if (is_write) {
       ++stats_.write_hits;
     } else {
       ++stats_.read_hits;
     }
-    return {.hit = true};
+    return {.hit = true, .needs_upgrade = needs_upgrade};
   }
   if (is_write) {
     ++stats_.write_misses;
@@ -61,7 +65,7 @@ LookupResult Cache::lookup(Addr addr, bool is_write) {
 
 bool Cache::probe(Addr addr) const { return find(line_of(addr)) != nullptr; }
 
-InsertResult Cache::insert(Addr addr, bool dirty) {
+InsertResult Cache::insert(Addr addr, bool dirty, bool shared) {
   const Addr line = line_of(addr);
   InsertResult result;
   if (Way* existing = find(line)) {
@@ -69,6 +73,7 @@ InsertResult Cache::insert(Addr addr, bool dirty) {
     // same L2 line): just refresh.
     existing->lru = ++lru_clock_;
     existing->dirty = existing->dirty || dirty;
+    existing->shared = shared && !existing->dirty;
     return result;
   }
   const std::size_t base = set_of(line) * cfg_.associativity;
@@ -92,8 +97,22 @@ InsertResult Cache::insert(Addr addr, bool dirty) {
   victim->line = line;
   victim->valid = true;
   victim->dirty = dirty;
+  victim->shared = shared && !dirty;  // Shared is read-only by invariant
   victim->lru = ++lru_clock_;
   return result;
+}
+
+bool Cache::complete_upgrade(Addr addr) {
+  Way* w = find(line_of(addr));
+  if (w == nullptr) return false;
+  w->shared = false;
+  w->dirty = true;
+  return true;
+}
+
+bool Cache::line_shared(Addr addr) const {
+  const Way* w = find(line_of(addr));
+  return w != nullptr && w->shared;
 }
 
 std::vector<Addr> Cache::flush() {
@@ -102,6 +121,7 @@ std::vector<Addr> Cache::flush() {
     if (w.valid && w.dirty) dirty.push_back(w.line);
     w.valid = false;
     w.dirty = false;
+    w.shared = false;
   }
   return dirty;
 }
@@ -112,6 +132,7 @@ std::optional<bool> Cache::invalidate(Addr addr) {
   const bool was_dirty = w->dirty;
   w->valid = false;
   w->dirty = false;
+  w->shared = false;
   return was_dirty;
 }
 

@@ -33,6 +33,11 @@ struct CacheConfig {
 /// Outcome of a lookup-and-touch.
 struct LookupResult {
   bool hit = false;
+  /// Write hit on a line held in Shared (read-only) state: the line was
+  /// touched but NOT dirtied — the caller must win a coherence upgrade
+  /// first (complete_upgrade()).  Never set in non-coherent runs, where no
+  /// line is ever inserted shared.
+  bool needs_upgrade = false;
 };
 
 /// Outcome of inserting a line after a refill.
@@ -77,8 +82,18 @@ class Cache {
 
   /// Install the line containing `addr`, evicting the LRU way if the set
   /// is full.  `dirty` marks the new line dirty immediately (write-allocate
-  /// for a store miss, or an L1 write-back landing in the L2).
-  InsertResult insert(Addr addr, bool dirty);
+  /// for a store miss, or an L1 write-back landing in the L2).  `shared`
+  /// installs the line in Shared (read-only MESI) state: stores report
+  /// needs_upgrade until complete_upgrade() promotes it.
+  InsertResult insert(Addr addr, bool dirty, bool shared = false);
+
+  /// Coherence upgrade granted: promote the line to Modified (dirty,
+  /// exclusive).  No-op if the line was invalidated while the upgrade was
+  /// in flight; returns whether the line was present.
+  bool complete_upgrade(Addr addr);
+
+  /// MESI Shared bit of the line holding `addr` (false if absent).
+  bool line_shared(Addr addr) const;
 
   /// Remove all lines; returns the full addresses of dirty lines (the
   /// write-back set the reconfiguration manager must push to DRAM before
@@ -101,6 +116,7 @@ class Cache {
     Addr line = 0;       ///< full line-aligned byte address (identity tag)
     bool valid = false;
     bool dirty = false;
+    bool shared = false; ///< MESI Shared: read-only until upgraded
     std::uint64_t lru = 0;  ///< larger == more recently used
   };
 

@@ -26,10 +26,27 @@ L2System::L2System(const L2Config& cfg, DramBackend& dram, std::uint32_t dram_re
 void L2System::deliver(const MemRequest& req, Cycle now) {
   assert(req.bank < banks_.size());
   assert(active_[req.bank] && "request routed to a power-gated bank");
+  // Invalidation acknowledgements are directory control traffic: they are
+  // consumed on arrival (the directory slice sits next to the bank) and
+  // never occupy the SRAM array, so they cannot deadlock behind the very
+  // transaction that is waiting for them.
+  if (dir_ != nullptr &&
+      (req.kind == ReqKind::kInvAck || req.kind == ReqKind::kDataForward)) {
+    dir_->on_ack(req);
+    stats_.dynamic_energy_pj += dir_->config().dir_access_energy_pj;
+    Bank& bank = banks_[req.bank];
+    assert(bank.coh_pending.has_value() && bank.coh_pending->acks_remaining > 0 &&
+           "ack without a stalled transaction");
+    --bank.coh_pending->acks_remaining;
+    if (req.kind == ReqKind::kDataForward) bank.coh_pending->forwarded_dirty = true;
+    (void)now;
+    return;
+  }
   banks_[req.bank].in_queue.push_back(PendingAccess{req, now});
 }
 
-void L2System::on_refill(BankId bank_id, const MemRequest& req, Cycle now) {
+void L2System::on_refill(BankId bank_id, const MemRequest& req, Cycle now,
+                         bool install_shared) {
   Bank& bank = banks_[bank_id];
   --bank.misses_in_flight;
   const InsertResult ins = bank.cache.insert(req.addr, /*dirty=*/req.is_write);
@@ -39,54 +56,128 @@ void L2System::on_refill(BankId bank_id, const MemRequest& req, Cycle now) {
     stats_.dynamic_energy_pj += cfg_.read_energy_pj;  // victim read-out
     dram_.write(dram_base_ + bank_id, ins.evicted_line_addr, now);
   }
-  MemResponse resp{
-      .id = req.id,
-      .core = req.core,
-      .bank = bank_id,
-      .addr = req.addr,
-      .is_write = req.is_write,
-      .l2_hit = false,
-      .issue_cycle = req.issue_cycle,
-  };
-  bank.out_queue.push_back(ReadyResponse{resp, now + cfg_.access_cycles});
+  respond(bank_id, req, now, RespKind::kData, /*l2_hit=*/false, req.is_write,
+          install_shared);
+}
+
+void L2System::respond(BankId bank_id, const MemRequest& req, Cycle now,
+                       RespKind kind, bool l2_hit, bool is_write, bool shared) {
+  banks_[bank_id].out_queue.push_back(
+      ReadyResponse{MemResponse{.id = req.id,
+                                .core = req.core,
+                                .bank = bank_id,
+                                .addr = req.addr,
+                                .is_write = is_write,
+                                .l2_hit = l2_hit,
+                                .issue_cycle = req.issue_cycle,
+                                .kind = kind,
+                                .shared = shared},
+                    now + cfg_.access_cycles});
+}
+
+void L2System::finish_request(BankId bank_id, const MemRequest& req, Cycle now,
+                              bool upgrade_ack, bool install_shared,
+                              bool forwarded_dirty) {
+  Bank& bank = banks_[bank_id];
+  if (upgrade_ack) {
+    // Permission grant: the directory/tag probe was the whole access; the
+    // response is header-only (is_write => no line payload on the fabric).
+    respond(bank_id, req, now, RespKind::kUpgradeAck, /*l2_hit=*/true,
+            /*is_write=*/true, /*shared=*/false);
+    return;
+  }
+  // The owner's forwarded line *is* the data: when the (non-inclusive)
+  // bank has evicted its copy, the forward installs it like a refill —
+  // no Miss-bus round trip, and no demand lookup charged to the bank's
+  // CacheStats (so the per-bank hit-rate spread keeps counting only
+  // demand accesses, consistent with the run's l2_hits/l2_misses).
+  if (forwarded_dirty && !bank.cache.probe(req.addr)) {
+    ++stats_.hits;
+    const InsertResult ins = bank.cache.insert(req.addr, /*dirty=*/true);
+    stats_.dynamic_energy_pj += cfg_.write_energy_pj;  // fill write
+    if (ins.evicted_dirty) {
+      ++stats_.writebacks;
+      stats_.dynamic_energy_pj += cfg_.read_energy_pj;  // victim read-out
+      dram_.write(dram_base_ + bank_id, ins.evicted_line_addr, now);
+    }
+    respond(bank_id, req, now, RespKind::kData, /*l2_hit=*/true, req.is_write,
+            install_shared);
+    return;
+  }
+  // A forwarded dirty line landing on a resident copy turns the access
+  // into a write (the data is deposited as part of the same array pass).
+  const bool array_write = req.is_write || forwarded_dirty;
+  const LookupResult lr = bank.cache.lookup(req.addr, array_write);
+  stats_.dynamic_energy_pj +=
+      array_write ? cfg_.write_energy_pj : cfg_.read_energy_pj;
+  if (lr.hit) {
+    ++stats_.hits;
+    respond(bank_id, req, now, RespKind::kData, /*l2_hit=*/true, req.is_write,
+            install_shared);
+  } else {
+    ++stats_.misses;
+    ++bank.misses_in_flight;
+    // Tag check took access_cycles; then the line refill goes out on
+    // the round-robin Miss bus.
+    const MemRequest miss_req = req;
+    dram_.read(dram_base_ + bank_id, req.addr, now + cfg_.access_cycles,
+               [this, bank_id, miss_req, install_shared](std::uint32_t, Addr,
+                                                         Cycle done) {
+                 on_refill(bank_id, miss_req, done, install_shared);
+               });
+  }
 }
 
 void L2System::tick(Cycle now) {
   for (BankId b = 0; b < banks_.size(); ++b) {
     Bank& bank = banks_[b];
 
-    // Start the next access when the bank array is free.
-    if (!bank.in_queue.empty() && bank.busy_until <= now) {
+    // Resume a coherence-stalled transaction once every invalidation has
+    // been acknowledged (head-of-line: the queue waits behind it).
+    if (bank.coh_pending.has_value()) {
+      if (bank.coh_pending->acks_remaining == 0 && bank.busy_until <= now) {
+        const CohPending p = *bank.coh_pending;
+        bank.coh_pending.reset();
+        bank.busy_until = now + cfg_.service_cycles;
+        finish_request(b, p.req, now, p.upgrade_ack, p.install_shared,
+                       p.forwarded_dirty);
+      }
+    } else if (!bank.in_queue.empty() && bank.busy_until <= now) {
+      // Start the next access when the bank array is free.
       PendingAccess pa = bank.in_queue.front();
       bank.in_queue.pop_front();
       stats_.bank_conflict_cycles += now - pa.arrived;
       bank.busy_until = now + cfg_.service_cycles;
 
-      const LookupResult lr = bank.cache.lookup(pa.req.addr, pa.req.is_write);
-      stats_.dynamic_energy_pj +=
-          pa.req.is_write ? cfg_.write_energy_pj : cfg_.read_energy_pj;
-      if (lr.hit) {
-        ++stats_.hits;
-        MemResponse resp{
-            .id = pa.req.id,
-            .core = pa.req.core,
-            .bank = b,
-            .addr = pa.req.addr,
-            .is_write = pa.req.is_write,
-            .l2_hit = true,
-            .issue_cycle = pa.req.issue_cycle,
-        };
-        bank.out_queue.push_back(ReadyResponse{resp, now + cfg_.access_cycles});
+      if (dir_ != nullptr) {
+        const coherence::DirOutcome d = dir_->on_request(pa.req, b);
+        stats_.dynamic_energy_pj += dir_->config().dir_access_energy_pj;
+        if (!d.invalidate.empty()) {
+          // Invalidations ride the response network to the sharers; the
+          // transaction parks at the bank head until every ack is back.
+          for (CoreId target : d.invalidate) {
+            MemResponse inv{
+                .id = pa.req.id,
+                .core = target,
+                .bank = b,
+                .addr = pa.req.addr,
+                .is_write = true,  // header-only message
+                .l2_hit = true,
+                .issue_cycle = now,
+                .kind = RespKind::kInvalidate,
+                .shared = false,
+            };
+            bank.out_queue.push_back(ReadyResponse{inv, now + cfg_.access_cycles});
+          }
+          bank.coh_pending =
+              CohPending{pa.req, static_cast<unsigned>(d.invalidate.size()),
+                         false, d.upgrade_ack, d.install_shared};
+        } else {
+          finish_request(b, pa.req, now, d.upgrade_ack, d.install_shared,
+                         false);
+        }
       } else {
-        ++stats_.misses;
-        ++bank.misses_in_flight;
-        // Tag check took access_cycles; then the line refill goes out on
-        // the round-robin Miss bus.
-        const MemRequest req = pa.req;
-        dram_.read(dram_base_ + b, pa.req.addr, now + cfg_.access_cycles,
-                   [this, b, req](std::uint32_t, Addr, Cycle done) {
-                     on_refill(b, req, done);
-                   });
+        finish_request(b, pa.req, now, false, false, false);
       }
     }
 
@@ -101,7 +192,16 @@ void L2System::tick(Cycle now) {
 Cycle L2System::next_event(Cycle now) const {
   Cycle next = kNeverCycle;
   for (const Bank& bank : banks_) {
-    if (!bank.in_queue.empty()) {
+    if (bank.coh_pending.has_value()) {
+      // A stalled transaction only becomes serviceable when its last ack
+      // arrives — an interconnect-delivery event, not an L2 one.  Once the
+      // acks are in, resumption is gated by the bank occupancy alone.
+      if (bank.coh_pending->acks_remaining == 0) {
+        const Cycle start = std::max(bank.busy_until, now);
+        if (start <= now) return now;
+        next = std::min(next, start);
+      }
+    } else if (!bank.in_queue.empty()) {
       const Cycle start = std::max(bank.busy_until, now);
       if (start <= now) return now;
       next = std::min(next, start);
@@ -119,7 +219,8 @@ Cycle L2System::next_event(Cycle now) const {
 
 bool L2System::idle() const {
   for (const Bank& bank : banks_) {
-    if (!bank.in_queue.empty() || !bank.out_queue.empty() || bank.misses_in_flight > 0) {
+    if (!bank.in_queue.empty() || !bank.out_queue.empty() ||
+        bank.misses_in_flight > 0 || bank.coh_pending.has_value()) {
       return false;
     }
   }

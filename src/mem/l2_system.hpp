@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "coherence/directory.hpp"
 #include "common/messages.hpp"
 #include "common/types.hpp"
 #include "mem/cache.hpp"
@@ -66,6 +68,14 @@ class L2System {
   void set_response_injector(ResponseInjector injector) {
     injector_ = std::move(injector);
   }
+
+  /// Engage directory-based coherence: each bank consults its co-located
+  /// directory slice before serving a request, and requests that hit
+  /// remote L1 state stall at the bank head until every invalidation is
+  /// acknowledged.  Null (the default) keeps the exact pre-coherence
+  /// behaviour, bit for bit.
+  void attach_directory(coherence::CoherenceDirectory* dir) { dir_ = dir; }
+  coherence::CoherenceDirectory* directory() const { return dir_; }
 
   /// Interconnect delivers a request whose `bank` is the physical bank.
   void deliver(const MemRequest& req, Cycle now);
@@ -118,16 +128,40 @@ class L2System {
     MemResponse resp;
     Cycle due = 0;  ///< earliest cycle it may leave the bank
   };
+  /// A transaction stalled at the bank head waiting for invalidation
+  /// acknowledgements (head-of-line blocking: the directory slice
+  /// serialises transactions per bank).
+  struct CohPending {
+    MemRequest req;
+    unsigned acks_remaining = 0;
+    bool forwarded_dirty = false;  ///< an ack carried the owner's dirty line
+    bool upgrade_ack = false;      ///< answer kUpgradeAck instead of data
+    bool install_shared = false;   ///< kData grant must install Shared
+  };
   struct Bank {
     explicit Bank(const CacheConfig& cc) : cache(cc) {}
     Cache cache;
     std::deque<PendingAccess> in_queue;
     std::deque<ReadyResponse> out_queue;
+    std::optional<CohPending> coh_pending;
     Cycle busy_until = 0;
     std::size_t misses_in_flight = 0;
   };
 
-  void on_refill(BankId bank, const MemRequest& req, Cycle now);
+  void on_refill(BankId bank, const MemRequest& req, Cycle now,
+                 bool install_shared);
+
+  /// Queue `req`'s answer on its bank's out-queue, due after the array
+  /// access latency.
+  void respond(BankId bank_id, const MemRequest& req, Cycle now, RespKind kind,
+               bool l2_hit, bool is_write, bool shared);
+
+  /// The array access + response of a request whose coherence actions (if
+  /// any) have completed; the legacy non-coherent path calls it with all
+  /// flags false and is unchanged.
+  void finish_request(BankId bank_id, const MemRequest& req, Cycle now,
+                      bool upgrade_ack, bool install_shared,
+                      bool forwarded_dirty);
 
   L2Config cfg_;
   DramBackend& dram_;
@@ -135,6 +169,7 @@ class L2System {
   std::vector<Bank> banks_;
   std::vector<bool> active_;
   ResponseInjector injector_;
+  coherence::CoherenceDirectory* dir_ = nullptr;
   L2Stats stats_;
 };
 

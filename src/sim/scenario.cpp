@@ -14,7 +14,8 @@ namespace {
 
 bool run_is_valid(const ScenarioRun& r) {
   // Packet-switched baselines only run the full (ungated) configuration —
-  // the same invariant Cluster's constructor enforces.
+  // the same invariant Cluster's constructor enforces.  Keep
+  // invalid_cell_reason() below in step with any rule added here.
   if (r.fabric == cluster::Fabric::kMot) return true;
   return r.state.active_cores() == r.state.total_cores() &&
          r.state.active_banks() == r.state.total_banks();
@@ -33,6 +34,9 @@ JsonObject run_metrics(const ScenarioRun& run, const cluster::SimResult& r) {
       .set("l2_misses", r.l2.misses)
       .set("l2_writebacks", r.l2.writebacks)
       .set("l2_bank_conflict_cycles", r.l2.bank_conflict_cycles)
+      .set("l2_bank_hit_rate_min", r.l2_bank_hit_rate_min)
+      .set("l2_bank_hit_rate_max", r.l2_bank_hit_rate_max)
+      .set("l2_bank_hit_rate_spread", r.l2_bank_hit_rate_spread)
       .set("l2_resident_lines", static_cast<std::uint64_t>(r.l2_resident_lines))
       .set("l2_hit_latency_mean", r.l2_hit_latency.mean())
       .set("l2_latency_mean", r.l2_latency.mean())
@@ -74,6 +78,20 @@ JsonObject run_metrics(const ScenarioRun& run, const cluster::SimResult& r) {
         .set("thermal_leakage_pj", t.leakage_pj)
         .set("thermal_leakage_ref_pj", t.leakage_ref_pj)
         .set("thermal_leakage_delta_pj", t.leakage_delta_pj());
+  }
+  // Coherence counters appear only for sharing workloads, so every
+  // non-coherent scenario keeps its exact field set.
+  if (r.coherence_enabled) {
+    const coherence::CoherenceStats& c = r.coherence;
+    o.set("coh_invalidations", c.invalidations)
+        .set("coh_inv_acks", c.inv_acks)
+        .set("coh_data_forwards", c.data_forwards)
+        .set("coh_upgrades", c.upgrades)
+        .set("coh_sharing_misses", c.sharing_misses)
+        .set("coh_dir_accesses", c.dir_accesses)
+        .set("coh_dir_entries", static_cast<std::uint64_t>(r.coh_dir_entries))
+        .set("coh_dir_peak_entries", c.dir_peak_entries)
+        .set("coh_dir_migrations", c.dir_migrations);
   }
   return o;
 }
@@ -163,6 +181,10 @@ std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec, std::size_t* skip
   }
   if (skipped != nullptr) *skipped = dropped;
   return runs;
+}
+
+const char* invalid_cell_reason() {
+  return "packet-switched fabrics only run ungated";
 }
 
 const cluster::SimResult& ScenarioOutcome::result(const std::string& app,
@@ -286,8 +308,8 @@ int run_and_present(const ScenarioSpec& spec, const ScenarioOptions& opt,
     present_generic(out, os);
   }
   if (out.skipped_invalid > 0) {
-    os << "note: skipped " << out.skipped_invalid
-       << " invalid grid cells (packet-switched fabrics only run ungated)\n";
+    os << "note: skipped " << out.skipped_invalid << " invalid grid cells ("
+       << invalid_cell_reason() << ")\n";
   }
   if (spec.kind == ScenarioSpec::Kind::kSweep) {
     const PerfTelemetry& t = out.telemetry;

@@ -139,6 +139,10 @@ struct ScenarioOutcome {
 std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec,
                                      std::size_t* skipped = nullptr);
 
+/// The one reason expand_grid drops cells — single source of truth for
+/// every surface (run note, describe) that explains a nonzero skip count.
+const char* invalid_cell_reason();
+
 /// Execute a kSweep or kTiming scenario (kCustom scenarios run through
 /// run_and_present, which dispatches to their body).
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioOptions& opt);

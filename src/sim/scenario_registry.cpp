@@ -394,6 +394,54 @@ void present_thermal(const ScenarioOutcome& out, std::ostream& os) {
         "ceiling must throttle more)\n";
 }
 
+// ---- coherence sharing presenter -------------------------------------------
+
+void present_coherence(const ScenarioOutcome& out, std::ostream& os) {
+  print_header(out, "Coherence: sharing pattern x fabric x power state", os);
+  TextTable tbl("directory-MESI traffic per run");
+  tbl.set_header({"workload", "pattern", "fabric", "state", "invalidations",
+                  "upgrades", "forwards", "sharing misses", "dir peak", "L2 lat",
+                  "kcycles"});
+  std::uint64_t pc_invals = 0, rm_invals = 0;
+  std::uint64_t pc_runs = 0, rm_runs = 0;
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    const ScenarioRun& run = out.runs[i];
+    const cluster::SimResult& r = out.results[i];
+    const coherence::CoherenceStats& c = r.coherence;
+    tbl.add_row({run.app,
+                 workload::sharing_pattern_name(
+                     workload::profile_by_name(run.app).sharing),
+                 cluster::fabric_name(run.fabric), run.state.name(),
+                 std::to_string(c.invalidations), std::to_string(c.upgrades),
+                 std::to_string(c.data_forwards),
+                 std::to_string(c.sharing_misses),
+                 std::to_string(c.dir_peak_entries),
+                 fmt_fixed(r.l2_latency.mean(), 1),
+                 fmt_fixed(static_cast<double>(r.cycles) / 1000.0, 0)});
+    if (run.app == "producer_consumer") {
+      pc_invals += c.invalidations;
+      ++pc_runs;
+    }
+    if (run.app == "read_mostly") {
+      rm_invals += c.invalidations;
+      ++rm_runs;
+    }
+  }
+  tbl.print(os);
+
+  // Shape checks: communication-heavy patterns must invalidate; the
+  // read-mostly table must invalidate less than the producer-consumer
+  // ping-pong on the same grid.
+  os << "shape check: producer-consumer generates invalidations: "
+     << (pc_runs > 0 && pc_invals > 0 ? "PASS" : "CHECK") << "\n";
+  os << "shape check: read-mostly invalidates less than producer-consumer: "
+     << (pc_runs > 0 && rm_runs > 0 &&
+                 rm_invals * pc_runs < pc_invals * rm_runs
+             ? "PASS"
+             : "CHECK")
+     << "\n";
+}
+
 // ---- registry construction -------------------------------------------------
 
 ScenarioSpec timing_spec(std::string name, std::string figure,
@@ -472,6 +520,26 @@ ScenarioSpec thermal_spec() {
   return s;
 }
 
+ScenarioSpec coherence_spec() {
+  ScenarioSpec s;
+  s.name = "coherence_sharing";
+  s.figure = "§II (coherence)";
+  s.description =
+      "directory-MESI sharing patterns: invalidation traffic on the fabrics";
+  // The four sharing patterns against the MoT and the packet-switched
+  // mesh, Full and bank-gated (only the MoT runs gated): invalidations,
+  // upgrades and data forwards all ride the regular fabrics, so the
+  // interconnect comparison extends to coherence traffic.
+  s.apps = workload::sharing_profile_names();
+  s.fabrics = {cluster::Fabric::kMot, cluster::Fabric::kTrueMesh3d};
+  s.power_states = {core::PowerState::full(), core::PowerState::pc16_mb8()};
+  s.dram_presets = {mem::DramPreset::kDdr3_200ns};
+  s.default_scale = 0.5;
+  s.golden_scale = 0.02;
+  s.present = present_coherence;
+  return s;
+}
+
 ScenarioSpec custom_spec(std::string name, std::string description,
                          int (*body)(const ScenarioSpec&, const ScenarioOptions&,
                                      std::ostream&),
@@ -521,6 +589,7 @@ std::vector<ScenarioSpec> build_registry() {
                             (void)present_edp_table(out, os);
                           }));
   r.push_back(thermal_spec());
+  r.push_back(coherence_spec());
   r.push_back(custom_spec("ablation_wire",
                           "repeater insertion vs Elmore wire delay",
                           run_ablation_wire, 0.5));

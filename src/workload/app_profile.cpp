@@ -163,10 +163,115 @@ std::vector<AppProfile> make_profiles() {
   return apps;
 }
 
+// The coherence_sharing microworkloads: one profile per sharing pattern.
+// Footprints are modest (the point is the invalidation traffic, not L2
+// capacity pressure) and the instruction budgets small enough that the
+// golden-pinned runs stay quick.
+std::vector<AppProfile> make_sharing_profiles() {
+  std::vector<AppProfile> apps;
+
+  apps.push_back(AppProfile{
+      .name = "read_mostly",
+      .serial_fraction = 0.02,
+      .phases = 8,
+      .imbalance = 0.10,
+      .mem_fraction = 0.30,
+      .read_fraction = 0.75,
+      .ifetch_every = 12.0,
+      .working_set_bytes = 128 * 1024,
+      .hot_fraction = 0.25,
+      .hot_access_prob = 0.60,
+      .shared_fraction = 0.55,
+      .private_bytes = 12 * 1024,
+      .seq_run_mean = 8.0,
+      .code_bytes = 3 * 1024,
+      .work_instructions = 1'200'000,
+      .sharing = SharingPattern::kReadMostly,
+      .sharing_write_fraction = 0.04,
+  });
+
+  apps.push_back(AppProfile{
+      .name = "producer_consumer",
+      .serial_fraction = 0.02,
+      .phases = 12,
+      .imbalance = 0.10,
+      .mem_fraction = 0.32,
+      .read_fraction = 0.65,
+      .ifetch_every = 12.0,
+      .working_set_bytes = 128 * 1024,
+      .hot_fraction = 0.25,
+      .hot_access_prob = 0.55,
+      .shared_fraction = 0.55,
+      .private_bytes = 12 * 1024,
+      .seq_run_mean = 8.0,
+      .code_bytes = 3 * 1024,
+      .work_instructions = 1'200'000,
+      .sharing = SharingPattern::kProducerConsumer,
+  });
+
+  apps.push_back(AppProfile{
+      .name = "migratory",
+      .serial_fraction = 0.02,
+      .phases = 8,
+      .imbalance = 0.15,
+      .mem_fraction = 0.30,
+      .read_fraction = 0.70,
+      .ifetch_every = 12.0,
+      .working_set_bytes = 128 * 1024,
+      .hot_fraction = 0.25,
+      .hot_access_prob = 0.55,
+      .shared_fraction = 0.45,
+      .private_bytes = 12 * 1024,
+      .seq_run_mean = 6.0,
+      .code_bytes = 3 * 1024,
+      .work_instructions = 1'200'000,
+      .sharing = SharingPattern::kMigratory,
+      .migratory_objects = 64,
+  });
+
+  apps.push_back(AppProfile{
+      .name = "all_to_all",
+      .serial_fraction = 0.02,
+      .phases = 16,
+      .imbalance = 0.10,
+      .mem_fraction = 0.30,
+      .read_fraction = 0.70,
+      .ifetch_every = 12.0,
+      .working_set_bytes = 128 * 1024,
+      .hot_fraction = 0.25,
+      .hot_access_prob = 0.55,
+      .shared_fraction = 0.50,
+      .private_bytes = 12 * 1024,
+      .seq_run_mean = 8.0,
+      .code_bytes = 3 * 1024,
+      .work_instructions = 1'200'000,
+      .sharing = SharingPattern::kAllToAll,
+      .slot_lines_per_core = 8,
+  });
+
+  return apps;
+}
+
 }  // namespace
+
+const char* sharing_pattern_name(SharingPattern p) {
+  switch (p) {
+    case SharingPattern::kNone: return "none";
+    case SharingPattern::kReadMostly: return "read-mostly";
+    case SharingPattern::kProducerConsumer: return "producer-consumer";
+    case SharingPattern::kMigratory: return "migratory";
+    case SharingPattern::kAllToAll: return "all-to-all";
+  }
+  return "?";
+}
 
 const std::vector<AppProfile>& splash2_profiles() {
   static const std::vector<AppProfile> apps = make_profiles();
+  return apps;
+}
+
+const std::vector<AppProfile>& sharing_profiles() {
+  static const std::vector<AppProfile> apps = make_sharing_profiles();
   return apps;
 }
 
@@ -174,12 +279,21 @@ const AppProfile& profile_by_name(const std::string& name) {
   for (const AppProfile& a : splash2_profiles()) {
     if (a.name == name) return a;
   }
-  throw std::out_of_range("unknown SPLASH-2 profile: " + name);
+  for (const AppProfile& a : sharing_profiles()) {
+    if (a.name == name) return a;
+  }
+  throw std::out_of_range("unknown workload profile: " + name);
 }
 
 std::vector<std::string> splash2_names() {
   std::vector<std::string> names;
   for (const AppProfile& a : splash2_profiles()) names.push_back(a.name);
+  return names;
+}
+
+std::vector<std::string> sharing_profile_names() {
+  std::vector<std::string> names;
+  for (const AppProfile& a : sharing_profiles()) names.push_back(a.name);
   return names;
 }
 

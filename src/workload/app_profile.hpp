@@ -25,6 +25,21 @@
 
 namespace mot3d::workload {
 
+/// Inter-core sharing structure of the shared region (src/coherence/).
+/// kNone keeps the pre-coherence reference stream bit-for-bit and leaves
+/// the directory detached; every other pattern correlates the op and the
+/// address of shared accesses to provoke a characteristic invalidation /
+/// upgrade / data-forward mix on the fabric.
+enum class SharingPattern : std::uint8_t {
+  kNone,              ///< uncoordinated shared reads/writes (legacy model)
+  kReadMostly,        ///< all cores read a common table; rare global updates
+  kProducerConsumer,  ///< core t writes chunk t, core t+1 reads it
+  kMigratory,         ///< line-sized records read-modify-written in turns
+  kAllToAll,          ///< every core writes its slot, reads everyone else's
+};
+
+const char* sharing_pattern_name(SharingPattern p);
+
 struct AppProfile {
   std::string name;
 
@@ -57,6 +72,18 @@ struct AppProfile {
   // -- size --
   std::uint64_t work_instructions = 2'000'000;  ///< total work at scale 1.0
 
+  // -- inter-core sharing (coherence subsystem knobs) --
+  SharingPattern sharing = SharingPattern::kNone;
+  /// kReadMostly: P(a shared access is a global-table update).
+  double sharing_write_fraction = 0.05;
+  /// kMigratory: number of line-sized migratory records.
+  std::size_t migratory_objects = 64;
+  /// kAllToAll: per-core slot size in cache lines.
+  std::size_t slot_lines_per_core = 8;
+
+  /// A sharing pattern engages the directory-MESI coherence subsystem.
+  bool coherent() const { return sharing != SharingPattern::kNone; }
+
   /// True if the app keeps scaling to 16 cores (paper's fmm/radix/ocean/
   /// water group).
   bool scalable() const { return serial_fraction < 0.15; }
@@ -70,10 +97,18 @@ struct AppProfile {
 /// The eight SPLASH-2 programs the paper evaluates (Figs. 6-8).
 const std::vector<AppProfile>& splash2_profiles();
 
-/// Lookup by name; throws std::out_of_range if unknown.
+/// The four sharing-pattern microworkloads of the coherence_sharing
+/// scenario (read_mostly, producer_consumer, migratory, all_to_all).
+const std::vector<AppProfile>& sharing_profiles();
+
+/// Lookup by name over SPLASH-2 and sharing profiles; throws
+/// std::out_of_range if unknown.
 const AppProfile& profile_by_name(const std::string& name);
 
 /// Names in the paper's presentation order.
 std::vector<std::string> splash2_names();
+
+/// Sharing-workload names in registry order.
+std::vector<std::string> sharing_profile_names();
 
 }  // namespace mot3d::workload

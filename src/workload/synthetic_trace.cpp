@@ -58,44 +58,49 @@ std::uint64_t SyntheticTrace::phase_share(std::size_t phase_idx) const {
   return static_cast<std::uint64_t>(std::max(1.0, base * factor));
 }
 
-Addr SyntheticTrace::next_data_addr() {
+MemOp SyntheticTrace::draw_op() {
+  return rng_.next_bool(profile_.read_fraction) ? MemOp::kLoad : MemOp::kStore;
+}
+
+Addr SyntheticTrace::stack_addr() {
   // Stack/spill traffic: a tiny per-core region at the bottom of the
   // private range, hot enough to live in the L1 permanently.
-  if (rng_.next_bool(profile_.stack_fraction)) {
-    stack_ptr_ += 4;
-    if (stack_ptr_ >= AddressMap::private_base(thread_) + profile_.stack_bytes ||
-        rng_.next_bool(0.2)) {
-      stack_ptr_ = AddressMap::private_base(thread_) +
-                   rng_.next_below(profile_.stack_bytes / 4) * 4;
-    }
-    return stack_ptr_;
+  stack_ptr_ += 4;
+  if (stack_ptr_ >= AddressMap::private_base(thread_) + profile_.stack_bytes ||
+      rng_.next_bool(0.2)) {
+    stack_ptr_ = AddressMap::private_base(thread_) +
+                 rng_.next_below(profile_.stack_bytes / 4) * 4;
   }
-  const bool shared = rng_.next_bool(profile_.shared_fraction);
-  if (shared) {
-    if (shared_run_ == 0) {
-      const Addr ws = profile_.working_set_bytes;
-      Addr offset;
-      if (rng_.next_bool(profile_.hot_access_prob)) {
-        const Addr hot =
-            std::max<Addr>(64, static_cast<Addr>(static_cast<double>(ws) *
-                                                 profile_.hot_fraction));
-        offset = rng_.next_below(hot / 4) * 4;
-      } else {
-        offset = rng_.next_below(ws / 4) * 4;
-      }
-      shared_ptr_ = AddressMap::kSharedBase + offset;
-      shared_run_ = 1 + static_cast<std::uint32_t>(
-                            rng_.next_below(static_cast<std::uint64_t>(
-                                2.0 * profile_.seq_run_mean)));
+  return stack_ptr_;
+}
+
+Addr SyntheticTrace::shared_walk_addr() {
+  if (shared_run_ == 0) {
+    const Addr ws = profile_.working_set_bytes;
+    Addr offset;
+    if (rng_.next_bool(profile_.hot_access_prob)) {
+      const Addr hot =
+          std::max<Addr>(64, static_cast<Addr>(static_cast<double>(ws) *
+                                               profile_.hot_fraction));
+      offset = rng_.next_below(hot / 4) * 4;
+    } else {
+      offset = rng_.next_below(ws / 4) * 4;
     }
-    --shared_run_;
-    const Addr a = shared_ptr_;
-    shared_ptr_ += 4;
-    if (shared_ptr_ >= AddressMap::kSharedBase + profile_.working_set_bytes) {
-      shared_ptr_ = AddressMap::kSharedBase;
-    }
-    return a;
+    shared_ptr_ = AddressMap::kSharedBase + offset;
+    shared_run_ = 1 + static_cast<std::uint32_t>(
+                          rng_.next_below(static_cast<std::uint64_t>(
+                              2.0 * profile_.seq_run_mean)));
   }
+  --shared_run_;
+  const Addr a = shared_ptr_;
+  shared_ptr_ += 4;
+  if (shared_ptr_ >= AddressMap::kSharedBase + profile_.working_set_bytes) {
+    shared_ptr_ = AddressMap::kSharedBase;
+  }
+  return a;
+}
+
+Addr SyntheticTrace::private_addr() {
   if (private_run_ == 0) {
     const Addr offset = rng_.next_below(profile_.private_bytes / 4) * 4;
     private_ptr_ = AddressMap::private_base(thread_) + offset;
@@ -109,6 +114,96 @@ Addr SyntheticTrace::next_data_addr() {
     private_ptr_ = AddressMap::private_base(thread_);
   }
   return a;
+}
+
+Addr SyntheticTrace::next_data_addr() {
+  if (rng_.next_bool(profile_.stack_fraction)) return stack_addr();
+  const bool shared = rng_.next_bool(profile_.shared_fraction);
+  if (shared) return shared_walk_addr();
+  return private_addr();
+}
+
+SyntheticTrace::DataAccess SyntheticTrace::next_coherent_access() {
+  // Cache-line granularity of the Table I hierarchy; the sharing patterns
+  // are phrased in lines because that is the coherence unit.
+  constexpr Addr kLine = 32;
+
+  if (rng_.next_bool(profile_.stack_fraction)) {
+    return {draw_op(), stack_addr()};
+  }
+  if (!rng_.next_bool(profile_.shared_fraction)) {
+    return {draw_op(), private_addr()};
+  }
+
+  switch (profile_.sharing) {
+    case SharingPattern::kReadMostly: {
+      // Everybody reads a common table; rare updates invalidate the
+      // (wide) sharer sets the reads build up.
+      const bool update = rng_.next_bool(profile_.sharing_write_fraction);
+      return {update ? MemOp::kStore : MemOp::kLoad, shared_walk_addr()};
+    }
+
+    case SharingPattern::kProducerConsumer: {
+      // The shared region is split into one chunk per thread: thread t
+      // streams stores through chunk t and loads through chunk t+1, so
+      // every line ping-pongs M -> (forward-invalidate) -> consumer.
+      const Addr chunk = std::max<Addr>(
+          kLine, (profile_.working_set_bytes / num_threads_) & ~(kLine - 1));
+      if (rng_.next_bool(0.5)) {
+        const Addr a = AddressMap::kSharedBase +
+                       static_cast<Addr>(thread_) * chunk + prod_off_;
+        prod_off_ = (prod_off_ + 4) % chunk;
+        return {MemOp::kStore, a};
+      }
+      const std::size_t upstream = (thread_ + 1) % num_threads_;
+      const Addr a = AddressMap::kSharedBase +
+                     static_cast<Addr>(upstream) * chunk + cons_off_;
+      cons_off_ = (cons_off_ + 4) % chunk;
+      return {MemOp::kLoad, a};
+    }
+
+    case SharingPattern::kMigratory: {
+      // Line-sized records read-modify-written by one core at a time; a
+      // record hand-off moves the dirty line core-to-core through the
+      // directory's forward-invalidate path.
+      if (migr_phase_ == 0 || rng_.next_bool(0.15)) {
+        migr_obj_ = rng_.next_below(profile_.migratory_objects);
+      }
+      const Addr a = AddressMap::kSharedBase + migr_obj_ * kLine +
+                     static_cast<Addr>((migr_phase_ >> 1) % (kLine / 4)) * 4;
+      const MemOp op = (migr_phase_ & 1) != 0 ? MemOp::kStore : MemOp::kLoad;
+      ++migr_phase_;
+      return {op, a};
+    }
+
+    case SharingPattern::kAllToAll: {
+      // Barrier-data exchange: each core publishes into its own slot and
+      // sweeps every peer's slot, so writers hit full-width sharer sets.
+      const Addr slot = static_cast<Addr>(profile_.slot_lines_per_core) * kLine;
+      if (num_threads_ > 1 && a2a_peer_ == thread_) {
+        a2a_peer_ = (a2a_peer_ + 1) % num_threads_;
+      }
+      if (num_threads_ == 1 || rng_.next_bool(0.5)) {
+        const Addr a = AddressMap::kSharedBase +
+                       static_cast<Addr>(thread_) * slot + a2a_own_off_;
+        a2a_own_off_ = (a2a_own_off_ + 4) % slot;
+        return {MemOp::kStore, a};
+      }
+      const Addr a = AddressMap::kSharedBase +
+                     static_cast<Addr>(a2a_peer_) * slot + a2a_peer_off_;
+      a2a_peer_off_ += 4;
+      if (a2a_peer_off_ >= slot) {
+        a2a_peer_off_ = 0;
+        a2a_peer_ = (a2a_peer_ + 1) % num_threads_;
+        if (a2a_peer_ == thread_) a2a_peer_ = (a2a_peer_ + 1) % num_threads_;
+      }
+      return {MemOp::kLoad, a};
+    }
+
+    case SharingPattern::kNone:
+      break;  // unreachable: the coherent path is gated on coherent()
+  }
+  return {draw_op(), shared_walk_addr()};
 }
 
 Addr SyntheticTrace::next_code_addr() {
@@ -160,9 +255,13 @@ void SyntheticTrace::refill() {
     ifetch_credit_ -= static_cast<double>(burst);
 
     if (share_remaining_ > 0) {
-      const MemOp op =
-          rng_.next_bool(profile_.read_fraction) ? MemOp::kLoad : MemOp::kStore;
-      buffer_.push_back(TraceRecord::mem(op, next_data_addr()));
+      if (profile_.coherent()) {
+        const DataAccess a = next_coherent_access();
+        buffer_.push_back(TraceRecord::mem(a.op, a.addr));
+      } else {
+        const MemOp op = draw_op();  // same draw order as ever: op, then addr
+        buffer_.push_back(TraceRecord::mem(op, next_data_addr()));
+      }
       --share_remaining_;
       ifetch_credit_ -= 1.0;
     }

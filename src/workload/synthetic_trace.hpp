@@ -62,10 +62,28 @@ class SyntheticTrace final : public cpu::TraceSource {
   cpu::TraceRecord next() override;
 
  private:
+  /// One data reference with its operation: coherent sharing patterns must
+  /// correlate op and address (a producer *writes* its chunk), which the
+  /// independent op/addr draws of the legacy stream cannot express.
+  struct DataAccess {
+    MemOp op = MemOp::kLoad;
+    Addr addr = 0;
+  };
+
   void refill();
   std::uint64_t phase_share(std::size_t phase_idx) const;
   Addr next_data_addr();
   Addr next_code_addr();
+
+  // -- region walkers shared by the legacy and coherent paths (exact RNG
+  //    draw order preserved for kNone profiles) --
+  MemOp draw_op();
+  Addr stack_addr();
+  Addr shared_walk_addr();
+  Addr private_addr();
+
+  /// Pattern-specific (op, addr) for profiles with a sharing pattern.
+  DataAccess next_coherent_access();
 
   const AppProfile& profile_;
   const PhasePlan& plan_;
@@ -86,6 +104,15 @@ class SyntheticTrace final : public cpu::TraceSource {
   Addr stack_ptr_;
   std::uint32_t private_run_ = 0;
   std::uint32_t shared_run_ = 0;
+
+  // sharing-pattern walkers (coherent profiles only)
+  Addr prod_off_ = 0;               ///< producer-consumer: own-chunk cursor
+  Addr cons_off_ = 0;               ///< producer-consumer: peer-chunk cursor
+  std::uint64_t migr_obj_ = 0;      ///< migratory: current record
+  std::uint32_t migr_phase_ = 0;    ///< migratory: read/modify alternation
+  std::size_t a2a_peer_ = 0;        ///< all-to-all: peer slot being read
+  Addr a2a_own_off_ = 0;
+  Addr a2a_peer_off_ = 0;
 
   std::deque<cpu::TraceRecord> buffer_;
 };

@@ -13,8 +13,8 @@ namespace mot3d::cluster {
 namespace {
 
 ClusterConfig small_cfg(Fabric fabric, const core::PowerState& state,
-                        SchedulerMode scheduler) {
-  ClusterConfig cfg = make_paper_config(workload::profile_by_name("fft"), fabric,
+                        SchedulerMode scheduler, const char* app = "fft") {
+  ClusterConfig cfg = make_paper_config(workload::profile_by_name(app), fabric,
                                         state, mem::DramPreset::kDdr3_200ns,
                                         /*scale=*/0.01, /*seed=*/42);
   cfg.scheduler = scheduler;
@@ -53,17 +53,23 @@ void check_conservation(const ClusterConfig& cfg) {
   EXPECT_DOUBLE_EQ(e.dynamic_pj(Component::kDram), r.dram.dynamic_energy_pj);
 
   // Core + L1 contributions recomputed from per-core stats with the same
-  // McPAT-lite model, in the same per-core accumulation order.
+  // McPAT-lite model, in the same per-core accumulation order.  Coherence
+  // invalidations probe the L1D array and are charged like an access.
   const power::CorePowerModel core_model(cfg.core_power);
-  double core_dynamic = 0.0, core_static = 0.0;
+  double core_dynamic = 0.0, core_static = 0.0, l1_inval_pj = 0.0;
   for (const cpu::CoreStats& c : r.cores) {
     core_dynamic += static_cast<double>(c.instructions) *
                     cfg.core_power.energy_per_instr_pj;
     core_dynamic += core_model.spin_pj(c.spin_cycles);
     core_static += core_model.static_pj(r.cycles);
+    l1_inval_pj += static_cast<double>(c.invalidations_received) *
+                   cfg.core_power.energy_per_l1_access_pj;
   }
   EXPECT_DOUBLE_EQ(e.dynamic_pj(Component::kCore), core_dynamic);
   EXPECT_DOUBLE_EQ(e.static_pj(Component::kCore), core_static);
+  if (!r.coherence_enabled) {
+    EXPECT_DOUBLE_EQ(l1_inval_pj, 0.0);
+  }
 
   // Derived metrics are pure functions of the ledger and the cycle count.
   EXPECT_DOUBLE_EQ(r.edp_pj_s,
@@ -91,6 +97,21 @@ TEST(EnergyConservation, NocFabricBothSchedulers) {
                                SchedulerMode::kEventDriven));
   check_conservation(small_cfg(Fabric::kTrueMesh3d, core::PowerState::full(),
                                SchedulerMode::kDenseTick));
+}
+
+TEST(EnergyConservation, CoherenceTrafficBothSchedulers) {
+  // Sharing workload: invalidations, upgrades and forwards all charge the
+  // ledger (fabric messages -> interconnect, directory consults -> L2, L1
+  // invalidation probes -> L1); the books must still balance exactly.
+  for (SchedulerMode mode :
+       {SchedulerMode::kEventDriven, SchedulerMode::kDenseTick}) {
+    const ClusterConfig cfg = small_cfg(Fabric::kMot, core::PowerState::full(),
+                                        mode, "producer_consumer");
+    check_conservation(cfg);
+    const SimResult r = Cluster(cfg).run();
+    ASSERT_TRUE(r.coherence_enabled);
+    ASSERT_GT(r.coherence.invalidations, 0u);
+  }
 }
 
 TEST(EnergyConservation, SchedulersProduceIdenticalLedgers) {

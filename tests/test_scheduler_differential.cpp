@@ -76,6 +76,22 @@ void expect_same_result(const SimResult& dense, const SimResult& event) {
   EXPECT_DOUBLE_EQ(dense.edp_pj_s, event.edp_pj_s);
   EXPECT_DOUBLE_EQ(dense.avg_power_w, event.avg_power_w);
 
+  // Coherence traffic is a modeled quantity like any other: the directory
+  // counters must agree to the last message.
+  EXPECT_EQ(dense.coherence_enabled, event.coherence_enabled);
+  EXPECT_EQ(dense.coherence.invalidations, event.coherence.invalidations);
+  EXPECT_EQ(dense.coherence.inv_acks, event.coherence.inv_acks);
+  EXPECT_EQ(dense.coherence.data_forwards, event.coherence.data_forwards);
+  EXPECT_EQ(dense.coherence.upgrades, event.coherence.upgrades);
+  EXPECT_EQ(dense.coherence.sharing_misses, event.coherence.sharing_misses);
+  EXPECT_EQ(dense.coherence.dir_accesses, event.coherence.dir_accesses);
+  EXPECT_EQ(dense.coherence.dir_peak_entries, event.coherence.dir_peak_entries);
+  EXPECT_EQ(dense.coh_dir_entries, event.coh_dir_entries);
+
+  EXPECT_DOUBLE_EQ(dense.l2_bank_hit_rate_min, event.l2_bank_hit_rate_min);
+  EXPECT_DOUBLE_EQ(dense.l2_bank_hit_rate_max, event.l2_bank_hit_rate_max);
+  EXPECT_DOUBLE_EQ(dense.l2_bank_hit_rate_spread, event.l2_bank_hit_rate_spread);
+
   ASSERT_EQ(dense.cores.size(), event.cores.size());
   for (std::size_t i = 0; i < dense.cores.size(); ++i) {
     EXPECT_EQ(dense.cores[i].instructions, event.cores[i].instructions) << i;
@@ -86,6 +102,12 @@ void expect_same_result(const SimResult& dense, const SimResult& event) {
     EXPECT_EQ(dense.cores[i].l2_requests, event.cores[i].l2_requests) << i;
     EXPECT_EQ(dense.cores[i].l1_writebacks, event.cores[i].l1_writebacks) << i;
     EXPECT_EQ(dense.cores[i].ifetch_misses, event.cores[i].ifetch_misses) << i;
+    EXPECT_EQ(dense.cores[i].invalidations_received,
+              event.cores[i].invalidations_received)
+        << i;
+    EXPECT_EQ(dense.cores[i].upgrades, event.cores[i].upgrades) << i;
+    EXPECT_EQ(dense.cores[i].coherence_forwards, event.cores[i].coherence_forwards)
+        << i;
     EXPECT_EQ(dense.cores[i].finish_cycle, event.cores[i].finish_cycle) << i;
   }
 }
@@ -135,6 +157,43 @@ TEST(SchedulerDifferential, MotGatedPc16Mb8FastDram) {
 TEST(SchedulerDifferential, MotGatedPc4Mb32WideIo) {
   run_differential("ocean_contiguous", Fabric::kMot, core::PowerState::pc4_mb32(),
                    mem::DramPreset::kWideIo_63ns);
+}
+
+// -- coherence traffic: every sharing pattern, both fabrics, gated too --
+
+TEST(SchedulerDifferential, CoherenceProducerConsumerMot) {
+  run_differential("producer_consumer", Fabric::kMot, core::PowerState::full(),
+                   mem::DramPreset::kDdr3_200ns);
+}
+
+TEST(SchedulerDifferential, CoherenceReadMostlyNoc) {
+  run_differential("read_mostly", Fabric::kTrueMesh3d, core::PowerState::full(),
+                   mem::DramPreset::kDdr3_200ns);
+}
+
+TEST(SchedulerDifferential, CoherenceMigratoryGatedMot) {
+  run_differential("migratory", Fabric::kMot, core::PowerState::pc16_mb8(),
+                   mem::DramPreset::kWideIo_63ns);
+}
+
+TEST(SchedulerDifferential, CoherenceAllToAllMot) {
+  run_differential("all_to_all", Fabric::kMot, core::PowerState::full(),
+                   mem::DramPreset::kDdr3_200ns);
+}
+
+// Coherence + thermal governor: invalidation traffic across a mid-run
+// drain/flush/remap (directory migration) and clock-held cores whose
+// acknowledgements must keep flowing.
+TEST(SchedulerDifferential, CoherenceUnderThermalGovernor) {
+  ClusterConfig dense = cfg_for("producer_consumer", Fabric::kMot,
+                                core::PowerState::full(),
+                                mem::DramPreset::kDdr3_200ns,
+                                SchedulerMode::kDenseTick, 0.02);
+  dense.thermal = thermal::ThermalConfig::from_envelope(
+      thermal::ThermalEnvelope{true, 60.0, 70.0});
+  ClusterConfig event = dense;
+  event.scheduler = SchedulerMode::kEventDriven;
+  expect_same_result(Cluster(dense).run(), Cluster(event).run());
 }
 
 TEST(SchedulerDifferential, ColdInstructionCachesExerciseIFetchPath) {

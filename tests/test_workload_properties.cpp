@@ -11,6 +11,7 @@
 //    the plan's barriers, in order, once each.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "cpu/trace.hpp"
@@ -88,6 +89,126 @@ TEST(WorkloadProperties, SeedChangesEveryProfilesStream) {
     }
     EXPECT_GT(diffs, 50) << app.name;
   }
+}
+
+// Satellite: the sharing-pattern generators must be exactly as
+// deterministic as the legacy stream — same (profile, threads, scale,
+// seed) => identical per-core streams (the scheduler-differential suite
+// covers the both-schedulers half of the guarantee).
+TEST(WorkloadProperties, SharingProfilesDeterministicPerThread) {
+  ASSERT_EQ(sharing_profiles().size(), 4u);
+  for (const AppProfile& app : sharing_profiles()) {
+    ASSERT_TRUE(app.coherent()) << app.name;
+    Workload w1(app, 16, 0.02, 91);
+    Workload w2(app, 16, 0.02, 91);
+    for (std::size_t t = 0; t < 16; t += 5) {
+      auto a = w1.make_trace(t);
+      auto b = w2.make_trace(t);
+      for (int i = 0; i < 20000; ++i) {
+        const TraceRecord ra = a->next();
+        const TraceRecord rb = b->next();
+        ASSERT_TRUE(same_record(ra, rb))
+            << app.name << " thread " << t << " record " << i;
+        if (ra.kind == TraceKind::kEnd) break;
+      }
+    }
+  }
+}
+
+TEST(WorkloadProperties, SharingProfilesSeedSensitive) {
+  for (const AppProfile& app : sharing_profiles()) {
+    Workload w1(app, 16, 0.02, 91);
+    Workload w2(app, 16, 0.02, 92);
+    auto a = w1.make_trace(3);
+    auto b = w2.make_trace(3);
+    int diffs = 0;
+    for (int i = 0; i < 2000; ++i) {
+      if (!same_record(a->next(), b->next())) ++diffs;
+    }
+    EXPECT_GT(diffs, 50) << app.name;
+  }
+}
+
+// Sharing patterns emit correlated (op, addr) shared traffic: a
+// producer-consumer thread must store into its own chunk and load from its
+// upstream neighbour's, never the reverse.
+TEST(WorkloadProperties, ProducerConsumerRolesAreDirectional) {
+  const AppProfile& app = profile_by_name("producer_consumer");
+  const std::size_t threads = 16;
+  const Addr chunk = (app.working_set_bytes / threads) & ~static_cast<Addr>(31);
+  Workload w(app, threads, 0.05, 42);
+  for (std::size_t t : {std::size_t{0}, std::size_t{7}, std::size_t{15}}) {
+    auto trace = w.make_trace(t);
+    int shared_ops = 0;
+    for (int i = 0; i < 50000; ++i) {
+      const TraceRecord r = trace->next();
+      if (r.kind == TraceKind::kEnd) break;
+      if (r.kind != TraceKind::kMem || r.op == MemOp::kInstrFetch) continue;
+      if (r.addr < AddressMap::kSharedBase) continue;
+      const std::size_t owner =
+          static_cast<std::size_t>((r.addr - AddressMap::kSharedBase) / chunk);
+      if (owner >= threads) continue;  // hot-table tail beyond the chunks
+      ++shared_ops;
+      if (r.op == MemOp::kStore) {
+        EXPECT_EQ(owner, t) << "producer wrote a foreign chunk";
+      } else {
+        EXPECT_EQ(owner, (t + 1) % threads) << "consumer read the wrong chunk";
+      }
+    }
+    EXPECT_GT(shared_ops, 100) << "thread " << t;
+  }
+}
+
+// Satellite: the kPrivateStride stagger must keep spreading the cores'
+// private regions across distinct L2 sets.  Guards the 256 KB set-period
+// comment in synthetic_trace.hpp against config drift: if the L2 geometry
+// (banks x sets x line) or the stride changes so that private bases
+// re-alias, this fails before the performance model quietly degrades.
+TEST(WorkloadProperties, PrivateStrideSpreadsCoresAcrossL2Sets) {
+  // Recompute the set period from the same Table I bank geometry the
+  // cluster derives (32 banks x (64 KB / 32 B / 8-way = 256 sets) x 32 B).
+  const std::size_t banks = 32;
+  const std::size_t line = 32;
+  const std::size_t sets_per_bank = (64 * 1024) / line / 8;
+  const Addr set_period = static_cast<Addr>(banks * sets_per_bank * line);
+  ASSERT_EQ(set_period, 256u * 1024u) << "Table I L2 geometry drifted";
+
+  // An exact multiple of the set period would alias every core's private
+  // base onto the same L2 sets — the failure mode the stagger prevents.
+  ASSERT_NE(AddressMap::kPrivateStride % set_period, 0u);
+
+  // Private regions must stay disjoint in address space (>= the largest
+  // per-core private footprint of any registered profile).
+  std::size_t max_private = 0;
+  for (const AppProfile& a : splash2_profiles()) {
+    max_private = std::max(max_private, a.private_bytes);
+  }
+  for (const AppProfile& a : sharing_profiles()) {
+    max_private = std::max(max_private, a.private_bytes);
+  }
+  ASSERT_GE(AddressMap::kPrivateStride, max_private);
+
+  // The 16 staggered bases must land on 16 distinct (bank, set) start
+  // positions; with the stride rounded to 2 MB they would all collide.
+  const unsigned line_shift = 5, bank_shift = 5;
+  auto start_set = [&](Addr base) {
+    return ((base >> line_shift) >> bank_shift) & (sets_per_bank - 1);
+  };
+  std::vector<Addr> sets;
+  for (std::size_t t = 0; t < 16; ++t) {
+    sets.push_back(start_set(AddressMap::private_base(t)));
+  }
+  std::sort(sets.begin(), sets.end());
+  EXPECT_EQ(std::unique(sets.begin(), sets.end()), sets.end())
+      << "two cores' private regions start on the same L2 set";
+
+  // Control: the un-staggered 2 MB stride collapses every base to one set.
+  std::vector<Addr> aliased;
+  for (std::size_t t = 0; t < 16; ++t) {
+    aliased.push_back(start_set(0x4000'0000 + t * 0x0020'0000));
+  }
+  std::sort(aliased.begin(), aliased.end());
+  EXPECT_EQ(std::unique(aliased.begin(), aliased.end()) - aliased.begin(), 1);
 }
 
 TEST(WorkloadProperties, PhasePlanIndependentOfThreadsAndSeed) {
