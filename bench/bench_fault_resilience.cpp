@@ -1,0 +1,8 @@
+// Fault-resilience sweep: TSV/link/bank fault injection with graceful
+// degradation on the MoT vs structured failure on the packet-switched
+// mesh (see src/fault/).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return mot3d::bench::scenario_main("fault_resilience", argc, argv);
+}

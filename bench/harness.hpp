@@ -14,6 +14,9 @@
 //   --scheduler=event|dense
 //                       cluster time-advance mode (default: event; results
 //                       are bit-identical, only wall-clock differs)
+//   --timeout=<seconds> per-run wall-clock budget (0 = none); a run over
+//                       budget dies with a watchdog error recorded against
+//                       that run, and the binary exits non-zero
 // Unknown flags are rejected with an error — a typo like --sacle=0.5 must
 // never silently fall back to the default.
 //
@@ -40,11 +43,13 @@ struct Options {
   unsigned threads = 0;  ///< 0 = hardware concurrency
   std::string json_path;
   cluster::SchedulerMode scheduler = cluster::SchedulerMode::kEventDriven;
+  double timeout_seconds = 0.0;  ///< per-run watchdog wall budget (0 = none)
 };
 
 inline void print_usage(std::ostream& os) {
   os << "usage: bench [--scale=<double>] [--seed=<u64>] [--threads=<n>]\n"
-     << "             [--json=<path>] [--scheduler=event|dense]\n";
+     << "             [--json=<path>] [--scheduler=event|dense]\n"
+     << "             [--timeout=<seconds>]\n";
 }
 
 [[noreturn]] inline void usage_error(const std::string& msg) {
@@ -92,6 +97,11 @@ inline Options parse_options(int argc, char** argv, double default_scale = 0.5) 
       } else if (arg.rfind("--json=", 0) == 0) {
         opt.json_path = arg.substr(7);
         if (opt.json_path.empty()) usage_error("--json= needs a path");
+      } else if (arg.rfind("--timeout=", 0) == 0) {
+        opt.timeout_seconds = parse_double_value(arg, arg.substr(10));
+        if (!std::isfinite(opt.timeout_seconds) || opt.timeout_seconds < 0.0) {
+          usage_error("--timeout must be a non-negative finite number of seconds");
+        }
       } else if (arg.rfind("--scheduler=", 0) == 0) {
         const std::string mode = arg.substr(12);
         if (mode == "event") {
@@ -138,6 +148,7 @@ inline sim::ScenarioOptions to_scenario_options(const Options& opt) {
   sopt.threads = opt.threads;
   sopt.scheduler = opt.scheduler;
   sopt.json_path = opt.json_path;
+  sopt.timeout_seconds = opt.timeout_seconds;
   return sopt;
 }
 
@@ -150,7 +161,14 @@ inline int scenario_main(const std::string& name, int argc, char** argv) {
     return 2;
   }
   const Options opt = parse_options(argc, argv, spec->default_scale);
-  return sim::run_and_present(*spec, to_scenario_options(opt), std::cout);
+  try {
+    return sim::run_and_present(*spec, to_scenario_options(opt), std::cout);
+  } catch (const std::exception& e) {
+    // Per-run failures are isolated inside the sweep; anything that still
+    // escapes (config errors, allocation failure) exits with one line.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace mot3d::bench

@@ -4,6 +4,7 @@
 //   mot3d_experiments run <name>... [flags]     # run registered scenarios
 //   mot3d_experiments grid --apps=... [flags]   # ad-hoc declarative grid
 //   mot3d_experiments update-golden [name...]   # regenerate golden baselines
+//   mot3d_experiments check-golden [name...]    # compare against baselines
 //
 // `run` takes the same flags as the bench binaries (--scale/--seed/
 // --threads/--json/--scheduler) plus --golden to force a scenario's
@@ -46,11 +47,13 @@ void print_cli_usage(std::ostream& os) {
      << "  run <name>... [flags]       run registered scenarios by name\n"
      << "  grid [axes] [flags]         run an ad-hoc grid\n"
      << "  update-golden [name...]     regenerate golden baselines\n"
+     << "  check-golden [name...]      re-run and diff against baselines\n"
      << "flags: --scale=<d> --seed=<u64> --threads=<n> --json=<path>\n"
-     << "       --scheduler=event|dense --golden\n"
+     << "       --scheduler=event|dense --timeout=<seconds> --golden\n"
      << "grid axes: --apps=a,b --fabrics=mot,mesh3d,busmesh,bustree\n"
      << "           --states=Full,PC4-MB8,... --dram=200,63,42\n"
-     << "update-golden: --dir=<path> (default: " MOT3D_SOURCE_DIR "/tests/golden)\n";
+     << "update-golden/check-golden: --dir=<path> (default: " MOT3D_SOURCE_DIR
+        "/tests/golden)\n";
 }
 
 std::vector<std::string> split_csv(const std::string& flag, const std::string& v) {
@@ -144,6 +147,10 @@ int cmd_describe(const std::vector<std::string>& names) {
     if (!s.thermal_envelopes.empty()) {
       std::cout << "\n  axis thermal envelopes: " << s.thermal_envelopes.size()
                 << " (ambient x ceiling cells)";
+    }
+    if (!s.fault_envelopes.empty()) {
+      std::cout << "\n  axis fault envelopes: " << s.fault_envelopes.size()
+                << " (fault-rate x seed cells)";
     }
     std::size_t skipped = 0;
     const std::size_t valid = sim::expand_grid(s, &skipped).size();
@@ -349,6 +356,57 @@ int cmd_update_golden(const CliArgs& cli) {
   return 0;
 }
 
+/// `check-golden` — the golden regression check as a CLI verb: re-run each
+/// golden scenario at its pinned options and byte-compare against the
+/// committed baseline.  Every failure path exits non-zero with one
+/// structured "error: ..." line (missing file, mismatch, unknown name), so
+/// scripts and CI steps can gate on it without parsing tables.
+int cmd_check_golden(const CliArgs& cli) {
+  if (!cli.bench_args.empty()) {
+    std::cerr << "error: check-golden takes no run flags (got '"
+              << cli.bench_args.front()
+              << "'); baselines always use each scenario's golden options\n";
+    return 2;
+  }
+  std::vector<std::string> names =
+      cli.names.empty() ? sim::golden_scenario_names() : cli.names;
+  int failures = 0;
+  for (const std::string& name : names) {
+    const sim::ScenarioSpec* spec = sim::find_scenario(name);
+    if (spec == nullptr || !spec->has_golden) {
+      std::cerr << "error: '" << name << "' is not a golden scenario\n";
+      return 2;
+    }
+    const std::string path = cli.golden_dir + "/" + name + ".json";
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      std::cerr << "error: missing golden baseline " << path
+                << " (run update-golden " << name << ")\n";
+      ++failures;
+      continue;
+    }
+    std::ostringstream want;
+    want << f.rdbuf();
+    const sim::ScenarioOutcome out =
+        sim::run_scenario(*spec, sim::golden_options(*spec));
+    const std::string got = sim::scenario_metrics_json(out);
+    if (got != want.str()) {
+      std::cerr << "error: golden mismatch for " << name << " (" << path
+                << "); inspect with update-golden --dir=<tmp> " << name
+                << " and diff\n";
+      ++failures;
+      continue;
+    }
+    std::cout << "ok: " << name << " matches " << path << "\n";
+  }
+  if (failures > 0) {
+    std::cerr << "error: " << failures << "/" << names.size()
+              << " golden baselines failed\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -377,10 +435,19 @@ int main(int argc, char** argv) {
     if (cmd == "update-golden") {
       return cmd_update_golden(parse_cli(argc, argv, 2, {.dir = true}));
     }
+    if (cmd == "check-golden") {
+      return cmd_check_golden(parse_cli(argc, argv, 2, {.dir = true}));
+    }
   } catch (const std::invalid_argument& e) {
     // Malformed CLI-level flag values (e.g. an empty axis list).
     std::cerr << "error: " << e.what() << "\n";
     return 2;
+  } catch (const std::exception& e) {
+    // Anything else that escapes a command body (a scenario whose every
+    // run is isolated still throws on config errors, bad alloc, ...) —
+    // one structured line, non-zero exit, never a silent stack unwind.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
   std::cerr << "error: unknown command '" << cmd << "'\n";
   print_cli_usage(std::cerr);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
 #include <stdexcept>
 
 namespace mot3d::cluster {
@@ -89,7 +90,9 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     noc::NocTopology topo = noc::NocTopology::kTrueMesh3d;
     if (cfg_.fabric == Fabric::kHybridBusMesh) topo = noc::NocTopology::kHybridBusMesh;
     if (cfg_.fabric == Fabric::kHybridBusTree) topo = noc::NocTopology::kHybridBusTree;
-    interconnect_ = noc::make_noc(topo, cfg_.noc, pm);
+    auto noc = noc::make_noc(topo, cfg_.noc, pm);
+    noc_ = noc.get();
+    interconnect_ = std::move(noc);
   }
 
   interconnect_->set_request_sink(
@@ -97,6 +100,13 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   interconnect_->set_response_sink([this](const MemResponse& resp, Cycle now) {
     assert(cores_[resp.core] != nullptr);
     if (resp.kind == RespKind::kInvalidate) {
+      // Fault injection: a dropped invalidation never reaches the L1 snoop
+      // controller, so its ack never returns — the directory transaction
+      // wedges (this is the watchdog's directed-test stimulus).
+      if (drop_invalidates_remaining_ > 0) {
+        --drop_invalidates_remaining_;
+        return;
+      }
       // Directory control traffic, not a request's answer: no latency
       // sample, and legal in any core state.
       cores_[resp.core]->on_coherence_invalidate(resp, now);
@@ -148,15 +158,36 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     gc.min_banks = cfg_.thermal.governor_min_banks;
     gc.max_hold_intervals = cfg_.thermal.governor_max_hold_intervals;
     governor_ = std::make_unique<thermal::ThermalGovernor>(gc, cfg_.power_state);
-    if (mot_ != nullptr) {
-      reconfig_ = std::make_unique<core::ReconfigManager>(*mot_, *l2_, *dram_);
-      reconfig_->set_directory(coh_dir_.get());
-    }
     prev_core_instr_.assign(cfg_.total_cores, 0);
     prev_core_spin_.assign(cfg_.total_cores, 0);
     prev_core_l1_.assign(cfg_.total_cores, 0);
     prev_bank_accesses_.assign(cfg_.total_banks, 0);
     next_thermal_cycle_ = cfg_.thermal.sample_interval_cycles;
+  }
+
+  // Both the thermal governor and the fault-degradation path gate banks
+  // through the same drain -> flush -> remap sequencer (MoT only: packet
+  // fabrics have no reconfiguration path).
+  if (mot_ != nullptr && (cfg_.thermal.enabled || cfg_.fault.enabled)) {
+    reconfig_ = std::make_unique<core::ReconfigManager>(*mot_, *l2_, *dram_);
+    reconfig_->set_directory(coh_dir_.get());
+  }
+
+  // ---- fault injection + watchdog (opt-in; inert otherwise) ----
+  if (cfg_.fault.enabled) {
+    fault_sched_ = std::make_unique<fault::FaultSchedule>(
+        cfg_.fault, mot_ != nullptr, cfg_.total_banks,
+        noc_ != nullptr ? noc_->num_routers() : 0);
+    degrade_ = std::make_unique<fault::DegradationManager>(mot_ != nullptr,
+                                                           cfg_.fault.min_banks);
+    if (mot_ != nullptr) {
+      mot_->set_fault_retry_energy_pj(cfg_.fault.retry_energy_pj);
+    }
+  }
+  // The watchdog auto-engages on fault runs: a fault schedule can wedge the
+  // simulation by construction, so those runs always get progress checks.
+  if (cfg_.watchdog.enabled || cfg_.fault.enabled) {
+    watchdog_ = std::make_unique<fault::Watchdog>(cfg_.watchdog);
   }
 }
 
@@ -222,9 +253,23 @@ Cycle Cluster::next_event_cycle() const {
   // events: the jump must land on them exactly, as the dense loop does.
   if (thermal_ != nullptr) {
     next = std::min(next, next_thermal_cycle_);
-    if (cores_frozen_ && frozen_until_ > now_) {
-      next = std::min(next, frozen_until_);
+  }
+  if (fault_sched_ != nullptr) {
+    // The next scheduled fault is an event: the jump must land on it so
+    // both schedulers inject at the same cycle.  A drain in progress (or a
+    // deferred hard fault behind it) resolves through component events, but
+    // the post-reconfiguration unfreeze point is time-only.
+    const auto& evs = fault_sched_->events();
+    if (fault_event_idx_ < evs.size()) {
+      next = std::min(next, std::max(evs[fault_event_idx_].cycle, now_));
     }
+  }
+  if ((thermal_ != nullptr || fault_sched_ != nullptr) && cores_frozen_ &&
+      frozen_until_ > now_) {
+    next = std::min(next, frozen_until_);
+  }
+  if (watchdog_ != nullptr) {
+    next = std::min(next, watchdog_->next_check_cycle());
   }
   if (!cores_frozen_) {
     for (CoreId c : active_cores_) {
@@ -264,41 +309,60 @@ SimResult Cluster::run() {
   if (cfg_.scheduler == SchedulerMode::kDenseTick) {
     while (!finished()) {
       if (now_ >= cfg_.max_cycles) {
-        throw std::runtime_error("simulation exceeded max_cycles — livelock?");
+        throw std::runtime_error("simulation exceeded max_cycles — livelock?\n" +
+                                 progress_dump());
       }
-      thermal_poll();
+      poll();
+      if (run_failed_) break;  // unrecoverable fault: structured outcome
       tick_once();
     }
-    thermal_finalize();
-    return collect_result();
-  }
-
-  // Event-driven: whenever nothing can happen this cycle, jump straight to
-  // the earliest future event, batch-accounting the skipped cycles on every
-  // core so all statistics stay bit-identical to the dense reference.
-  while (!finished()) {
-    if (now_ >= cfg_.max_cycles) {
-      throw std::runtime_error("simulation exceeded max_cycles — livelock?");
-    }
-    thermal_poll();
-    const Cycle next = next_event_cycle();
-    if (next > now_) {
-      if (next == kNeverCycle) {
-        throw std::runtime_error(
-            "deadlock: no component reports a future event but the run has "
-            "not finished");
+  } else {
+    // Event-driven: whenever nothing can happen this cycle, jump straight
+    // to the earliest future event, batch-accounting the skipped cycles on
+    // every core so all statistics stay bit-identical to the dense
+    // reference.
+    while (!finished()) {
+      if (now_ >= cfg_.max_cycles) {
+        throw std::runtime_error("simulation exceeded max_cycles — livelock?\n" +
+                                 progress_dump());
       }
-      const Cycle target = std::min(next, cfg_.max_cycles);
-      if (!cores_frozen_) {
-        for (CoreId c : active_cores_) cores_[c]->skip(now_, target);
+      poll();
+      if (run_failed_) break;
+      const Cycle next = next_event_cycle();
+      if (next > now_) {
+        if (next == kNeverCycle) {
+          // With a watchdog engaged its next check is always a future
+          // event, so this branch only fires on watchdog-less wedges.
+          throw std::runtime_error(
+              "deadlock: no component reports a future event but the run "
+              "has not finished\n" +
+              progress_dump());
+        }
+        const Cycle target = std::min(next, cfg_.max_cycles);
+        if (!cores_frozen_) {
+          for (CoreId c : active_cores_) cores_[c]->skip(now_, target);
+        }
+        now_ = target;
+        continue;
       }
-      now_ = target;
-      continue;
+      tick_once_event();
     }
-    tick_once_event();
   }
   thermal_finalize();
   return collect_result();
+}
+
+void Cluster::poll() {
+  // thermal_poll() is the exact pre-fault sequence: keeping it byte-for-
+  // byte intact keeps every thermal-only golden byte-identical.  Fault
+  // polling re-folds the freeze signal afterwards because a fault-initiated
+  // drain freezes the cores through the same machinery.
+  thermal_poll();
+  if (fault_sched_ != nullptr) {
+    fault_poll();
+    set_frozen(draining_ || governor_hold_ || now_ < frozen_until_);
+  }
+  if (watchdog_ != nullptr) watchdog_poll();
 }
 
 void Cluster::set_frozen(bool frozen) {
@@ -321,6 +385,162 @@ void Cluster::try_complete_drain() {
     draining_ = false;
     drain_target_.reset();
   }
+}
+
+void Cluster::fault_poll() {
+  // 1) Mid-drain completion: identical contract to the thermal governor's
+  //    drain (the component tick that emptied the transport is an event,
+  //    so both schedulers poll the cycle after it).
+  try_complete_drain();
+
+  // 2) A hard fault that arrived while an earlier drain was in flight was
+  //    deferred; re-evaluate it against the *current* state now that the
+  //    transport is reconfigurable again.  One per poll keeps the drain
+  //    sequencing simple and deterministic.
+  if (!draining_ && !deferred_faults_.empty()) {
+    const fault::FaultEvent ev = deferred_faults_.front();
+    deferred_faults_.pop_front();
+    apply_fault(ev);
+    try_complete_drain();
+  }
+
+  // 3) Fire every scheduled fault due at or before this cycle (the event
+  //    scheduler lands on each fault cycle exactly; the dense loop walks
+  //    through it).
+  const auto& evs = fault_sched_->events();
+  while (fault_event_idx_ < evs.size() && evs[fault_event_idx_].cycle <= now_) {
+    ++fault_summary_.injected;
+    apply_fault(evs[fault_event_idx_]);
+    ++fault_event_idx_;
+    // If the fabric happens to be idle the drain completes *now* — waiting
+    // for a later poll would desynchronise the schedulers (no component
+    // events exist while everything is idle).
+    try_complete_drain();
+  }
+}
+
+void Cluster::apply_fault(const fault::FaultEvent& ev) {
+  const core::PowerState& current = mot_ != nullptr ? mot_->state() : cfg_.power_state;
+  const fault::DegradeAction act =
+      degrade_->react(ev, current, cfg_.fault.degrade_penalty_cycles);
+  switch (act.kind) {
+    case fault::DegradeActionKind::kNone:
+      ++fault_summary_.recovered;  // already masked by an earlier action
+      break;
+    case fault::DegradeActionKind::kDegradeMotBank:
+      assert(mot_ != nullptr);
+      mot_->add_bank_fault_penalty(act.unit, act.penalty_cycles);
+      fault_repair_pj_ += cfg_.fault.repair_energy_pj;
+      ++fault_summary_.recovered;
+      mark_degraded();
+      break;
+    case fault::DegradeActionKind::kThrottleRouter:
+      assert(noc_ != nullptr);
+      noc_->set_router_throttle(act.unit, act.penalty_cycles);
+      fault_repair_pj_ += cfg_.fault.repair_energy_pj;
+      ++fault_summary_.recovered;
+      mark_degraded();
+      break;
+    case fault::DegradeActionKind::kDropInvalidate:
+      // Not a degradation the cluster can mask — it either wedges the run
+      // (watchdog fires) or the line was not being invalidated anyway.
+      drop_invalidates_remaining_ += ev.magnitude == 0 ? 1 : ev.magnitude;
+      break;
+    case fault::DegradeActionKind::kGateBanks:
+      if (draining_) {
+        // A drain is already in flight (thermal governor or an earlier
+        // fault); queue this one behind it and re-react later.
+        deferred_faults_.push_back(ev);
+        return;
+      }
+      assert(act.target.has_value());
+      ++fault_summary_.recovered;
+      ++fault_summary_.bank_gate_events;
+      fault_repair_pj_ += cfg_.fault.repair_energy_pj;
+      mark_degraded();
+      draining_ = true;
+      drain_target_ = act.target;
+      break;
+    case fault::DegradeActionKind::kUnrecoverable:
+      ++fault_summary_.unrecoverable;
+      run_failed_ = true;
+      fail_reason_ = fault::fault_kind_name(ev.kind) +
+                     (" on unit " + std::to_string(ev.target)) + ": " + act.note;
+      break;
+  }
+}
+
+void Cluster::watchdog_poll() {
+  // Cheap guard first: the signature walk is O(cores + banks) and must not
+  // run every dense-mode cycle.
+  if (now_ < watchdog_->next_check_cycle()) return;
+  switch (watchdog_->poll(now_, progress_signature())) {
+    case fault::WatchdogVerdict::kOk:
+      break;
+    case fault::WatchdogVerdict::kStalled:
+      throw fault::WatchdogError(
+          "watchdog: no forward progress for " +
+          std::to_string(watchdog_->stall_checks()) + " consecutive checks (" +
+          std::to_string(watchdog_->check_interval_cycles()) +
+          " cycles each) at cycle " + std::to_string(now_) + "\n" +
+          progress_dump());
+    case fault::WatchdogVerdict::kDeadlineExceeded:
+      throw fault::WatchdogError(
+          "watchdog: wall-clock deadline of " +
+          std::to_string(watchdog_->wall_deadline_seconds()) +
+          " s exceeded at cycle " + std::to_string(now_) + "\n" +
+          progress_dump());
+  }
+}
+
+std::uint64_t Cluster::progress_signature() const {
+  // Counts only *work*: instructions retired and memory traffic serviced.
+  // Stall/spin/idle cycle counters advance even while wedged and must not
+  // contribute, or a wedge would look like progress.
+  std::uint64_t sig = 0;
+  for (CoreId c : active_cores_) {
+    const cpu::CoreStats& st = cores_[c]->stats();
+    sig += st.instructions + st.l2_requests;
+  }
+  const mem::L2Stats& l2s = l2_->stats();
+  sig += l2s.hits + l2s.misses + l2s.writebacks;
+  const mem::DramStats& ds = dram_->stats();
+  sig += ds.reads + ds.writes;
+  const InterconnectStats& is = interconnect_->stats();
+  sig += is.requests_delivered + is.responses_delivered;
+  return sig;
+}
+
+std::string Cluster::progress_dump() const {
+  std::ostringstream os;
+  os << "-- parked state at cycle " << now_ << " --\n";
+  for (CoreId c : active_cores_) {
+    const cpu::Core& core = *cores_[c];
+    os << "  core " << c << ": " << core.state_name() << ", "
+       << core.stats().instructions << " instr";
+    if (core.pending_request().has_value()) os << ", request waiting to inject";
+    if (core.pending_coherence() != nullptr) os << ", coherence msg pending";
+    os << "\n";
+  }
+  for (BankId b = 0; b < cfg_.total_banks; ++b) {
+    if (!l2_->active_banks()[b]) continue;
+    const mem::L2System::BankDebug dbg = l2_->bank_debug(b);
+    if (dbg.in_queue == 0 && dbg.out_queue == 0 && dbg.misses_in_flight == 0 &&
+        !dbg.coh_stalled) {
+      continue;
+    }
+    os << "  bank " << b << ": in=" << dbg.in_queue << " out=" << dbg.out_queue
+       << " misses=" << dbg.misses_in_flight;
+    if (dbg.coh_stalled) {
+      os << " coh-stalled (" << dbg.coh_acks_remaining << " acks outstanding)";
+    }
+    os << "\n";
+  }
+  os << "  transport: icn " << (interconnect_->idle() ? "idle" : "busy")
+     << ", l2 " << (l2_->idle() ? "idle" : "busy") << ", dram "
+     << (dram_->idle() ? "idle" : "busy")
+     << (cores_frozen_ ? ", cores clock-held" : "");
+  return os.str();
 }
 
 void Cluster::thermal_poll() {
@@ -483,8 +703,10 @@ void Cluster::accumulate_dynamic_energy(power::EnergyLedger& ledger) const {
   }
   ledger.add_dynamic(power::Component::kL2,
                      l2_->stats().dynamic_energy_pj + governor_flush_pj_);
+  // Repair actions (switch reprogramming pulses, link retraining) are
+  // charged to the interconnect: that is the silicon doing the recovering.
   ledger.add_dynamic(power::Component::kInterconnect,
-                     interconnect_->dynamic_energy_pj());
+                     interconnect_->dynamic_energy_pj() + fault_repair_pj_);
   ledger.add_dynamic(power::Component::kDram, dram_->stats().dynamic_energy_pj);
 }
 
@@ -523,6 +745,20 @@ SimResult Cluster::collect_result() const {
     r.coherence_enabled = true;
     r.coherence = coh_dir_->stats();
     r.coh_dir_entries = coh_dir_->occupancy();
+  }
+
+  if (cfg_.fault.enabled) {
+    r.fault = fault_summary_;
+    r.fault.enabled = true;
+    r.fault.outcome = run_failed_
+                          ? "failed"
+                          : (first_degraded_cycle_ != kNeverCycle ? "degraded"
+                                                                  : "ok");
+    r.fault.fail_reason = fail_reason_;
+    r.fault.degraded_cycles =
+        first_degraded_cycle_ == kNeverCycle ? 0 : now_ - first_degraded_cycle_;
+    r.fault.repair_energy_pj =
+        fault_repair_pj_ + (mot_ != nullptr ? mot_->fault_retry_pj() : 0.0);
   }
 
   const power::CorePowerModel core_model(cfg_.core_power);

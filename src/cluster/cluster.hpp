@@ -6,6 +6,7 @@
 // synthetic SPLASH-2 workloads and produces every number in Figs. 6-8.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -21,6 +22,9 @@
 #include "core/reconfig.hpp"
 #include "cpu/barrier.hpp"
 #include "cpu/core.hpp"
+#include "fault/degradation.hpp"
+#include "fault/fault_schedule.hpp"
+#include "fault/watchdog.hpp"
 #include "mem/dram.hpp"
 #include "mem/l2_system.hpp"
 #include "noc/noc_interconnect.hpp"
@@ -81,6 +85,13 @@ struct ClusterConfig {
   // -- thermal subsystem (disabled by default; see src/thermal/) --
   thermal::ThermalConfig thermal;
 
+  // -- fault injection + watchdog (disabled by default; see src/fault/) --
+  fault::FaultConfig fault;
+  /// The watchdog also auto-engages whenever faults are enabled (a dropped
+  /// message must never wedge a run); this config enables it standalone
+  /// (e.g. mot3d_experiments --timeout) and tunes its intervals.
+  fault::WatchdogConfig watchdog;
+
   // -- simulation --
   SchedulerMode scheduler = SchedulerMode::kEventDriven;
   Cycle max_cycles = 200'000'000;       ///< runaway guard
@@ -131,6 +142,11 @@ struct SimResult {
   /// run had no thermal subsystem).
   thermal::ThermalSummary thermal;
 
+  /// Fault-injection trajectory (enabled == false when the run had no
+  /// fault schedule).  outcome == "failed" means the run ended early on an
+  /// unrecoverable topology with partial results.
+  fault::FaultSummary fault;
+
   std::vector<cpu::CoreStats> cores;  ///< active cores only
 
   double ipc() const {
@@ -178,9 +194,15 @@ class Cluster {
   void inject_core_traffic();
 
   /// Minimum over every component's next_event(now_); never below now_.
-  /// Thermal sampling boundaries and the governor's unfreeze point are
-  /// events too, so both schedulers visit them at the exact same cycles.
+  /// Thermal sampling boundaries, the governor's unfreeze point, fault
+  /// injection times and watchdog check boundaries are events too, so both
+  /// schedulers visit them at the exact same cycles.
   Cycle next_event_cycle() const;
+
+  /// Top-of-iteration poll of both schedulers: thermal steps, then fault
+  /// injection, then the watchdog.  Strictly ordered so the byte-identical
+  /// guarantee holds per subsystem combination.
+  void poll();
 
   // -- thermal subsystem plumbing (all no-ops when thermal_ is null) --
 
@@ -211,12 +233,37 @@ class Cluster {
   /// Cores are clock-held (governor throttle or reconfiguration drain).
   void set_frozen(bool frozen);
 
+  // -- fault subsystem plumbing (all no-ops when fault_sched_ is null) --
+
+  /// Complete fault-initiated drains, promote deferred hard faults, and
+  /// inject every fault event scheduled for this exact cycle.
+  void fault_poll();
+
+  /// Execute the degradation policy's reaction to one fault event.
+  void apply_fault(const fault::FaultEvent& ev);
+
+  void mark_degraded() {
+    if (first_degraded_cycle_ == kNeverCycle) first_degraded_cycle_ = now_;
+  }
+
+  /// Evaluate the watchdog at a check boundary; throws WatchdogError.
+  void watchdog_poll();
+
+  /// Monotone count of real forward progress (instructions, L2/DRAM
+  /// traffic, delivered messages) — frozen exactly when the run is wedged.
+  std::uint64_t progress_signature() const;
+
+  /// Per-core / per-bank parked-state dump for watchdog and deadlock
+  /// diagnostics.
+  std::string progress_dump() const;
+
   ClusterConfig cfg_;
   std::unique_ptr<mem::DramBackend> dram_;
   std::unique_ptr<mem::L2System> l2_;
   std::unique_ptr<coherence::CoherenceDirectory> coh_dir_;  ///< sharing runs
   std::unique_ptr<Interconnect> interconnect_;
   core::MotInterconnect* mot_ = nullptr;  ///< non-null when fabric == kMot
+  noc::NocInterconnect* noc_ = nullptr;   ///< non-null for packet fabrics
   std::unique_ptr<core::MotTimingModel> mot_timing_;
   cpu::BarrierController barriers_;
   std::unique_ptr<workload::Workload> workload_;
@@ -231,7 +278,9 @@ class Cluster {
   // -- thermal subsystem state (engaged only when cfg_.thermal.enabled) --
   std::unique_ptr<thermal::ThermalModel> thermal_;
   std::unique_ptr<thermal::ThermalGovernor> governor_;
-  std::unique_ptr<core::ReconfigManager> reconfig_;  ///< MoT fabric only
+  /// MoT fabric only; constructed for thermal *or* fault runs — both the
+  /// governor and the degradation path gate banks through it.
+  std::unique_ptr<core::ReconfigManager> reconfig_;
   power::EnergyLedger thermal_prev_snap_;   ///< ledger at the last boundary
   std::vector<std::uint64_t> prev_core_instr_, prev_core_spin_, prev_core_l1_;
   std::vector<std::uint64_t> prev_bank_accesses_;
@@ -247,6 +296,21 @@ class Cluster {
   std::uint64_t frozen_at_last_sample_ = 0;  ///< clock-tree gating bookkeeping
   double governor_flush_pj_ = 0.0;          ///< bank-flush reads of demotions
   double clock_tree_pj_ = 0.0;              ///< flat (non-thermal) core static
+
+  // -- fault subsystem state (engaged only when cfg_.fault.enabled) --
+  std::unique_ptr<fault::FaultSchedule> fault_sched_;
+  std::unique_ptr<fault::DegradationManager> degrade_;
+  std::size_t fault_event_idx_ = 0;         ///< next schedule entry to fire
+  std::deque<fault::FaultEvent> deferred_faults_;  ///< queued behind a drain
+  fault::FaultSummary fault_summary_;
+  std::uint64_t drop_invalidates_remaining_ = 0;  ///< directed-test wedge
+  Cycle first_degraded_cycle_ = kNeverCycle;
+  bool run_failed_ = false;                 ///< unrecoverable topology
+  std::string fail_reason_;
+  double fault_repair_pj_ = 0.0;            ///< repair actions (ledger: icn)
+
+  // -- watchdog (engaged when cfg_.watchdog.enabled or faults are on) --
+  std::unique_ptr<fault::Watchdog> watchdog_;
 };
 
 /// Canonical paper setup: Table I architecture + the given knobs.

@@ -16,7 +16,8 @@ MotInterconnect::MotInterconnect(const MotTimingModel& timing,
       routing_(initial.total_banks()),
       core_slot_(initial.total_cores()),
       bank_free_at_(initial.total_banks(), 0),
-      requesting_(initial.total_cores(), false) {
+      requesting_(initial.total_cores(), false),
+      bank_fault_penalty_(initial.total_banks(), 0) {
   bank_arbiters_.reserve(initial.total_banks());
   for (std::size_t b = 0; b < initial.total_banks(); ++b) {
     bank_arbiters_.emplace_back(initial.total_cores());
@@ -29,6 +30,11 @@ void MotInterconnect::configure(const PowerState& state) {
   state_timing_ = timing_.timing(state);
   routing_.configure(state);
   for (ArbitrationTree& at : bank_arbiters_) at.configure(state);
+}
+
+void MotInterconnect::add_bank_fault_penalty(BankId b, unsigned cycles) {
+  if (b >= bank_fault_penalty_.size()) throw std::out_of_range("bad bank id");
+  bank_fault_penalty_[b] += cycles;
 }
 
 BankId MotInterconnect::route(BankId logical) const {
@@ -87,7 +93,12 @@ void MotInterconnect::tick(Cycle now) {
     InFlight& s = core_slot_[*winner];
     stats_.arbitration_wait_cycles += now - s.eligible;
     ++stats_.requests_delivered;
-    bank_free_at_[b] = now + cfg_.bank_hold_cycles;
+    bank_free_at_[b] = now + cfg_.bank_hold_cycles + bank_fault_penalty_[b];
+    if (bank_fault_penalty_[b] > 0) {
+      // Degraded TSV column: the circuit establishment needs retry pulses.
+      dynamic_energy_pj_ += fault_retry_pj_per_grant_;
+      fault_retry_pj_ += fault_retry_pj_per_grant_;
+    }
     MemRequest delivered = s.req;
     delivered.bank = b;  // physical
     s.valid = false;

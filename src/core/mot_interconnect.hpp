@@ -65,6 +65,17 @@ class MotInterconnect final : public Interconnect {
   /// Physical bank the current switch configuration sends `logical` to.
   BankId route(BankId logical) const;
 
+  /// Fault injection: a marginal TSV via on bank `b`'s column.  Every
+  /// grant to the bank holds the circuit `cycles` longer (degraded-latency
+  /// mode) and pays the per-grant retry energy.  Cumulative and permanent
+  /// — reconfiguration does not heal silicon.
+  void add_bank_fault_penalty(BankId b, unsigned cycles);
+  void set_fault_retry_energy_pj(double pj) { fault_retry_pj_per_grant_ = pj; }
+
+  /// Retry energy charged so far to degraded-bank grants (already included
+  /// in dynamic_energy_pj(); broken out for the fault report).
+  double fault_retry_pj() const { return fault_retry_pj_; }
+
  private:
   struct InFlight {
     MemRequest req;
@@ -89,7 +100,10 @@ class MotInterconnect final : public Interconnect {
   std::vector<Cycle> bank_free_at_;        ///< circuit hold per bank
   std::deque<PendingResponse> responses_;  ///< constant-delay return path
   std::vector<bool> requesting_;           ///< tick() scratch (hot path)
+  std::vector<unsigned> bank_fault_penalty_;  ///< extra hold per physical bank
   double dynamic_energy_pj_ = 0.0;
+  double fault_retry_pj_ = 0.0;
+  double fault_retry_pj_per_grant_ = 0.0;
 };
 
 }  // namespace mot3d::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace mot3d::core {
 
@@ -52,6 +53,14 @@ ReconfigCost ReconfigManager::plan(const PowerState& next, bool execute, Cycle n
 }
 
 ReconfigCost ReconfigManager::apply(const PowerState& next, Cycle now) {
+  // The fault-degradation path can request arbitrary gating masks; a state
+  // with no powered bank would brick the cluster mid-run, so reject it
+  // loudly instead of tripping asserts downstream.
+  if (next.active_banks() == 0) {
+    throw std::invalid_argument(
+        "reconfiguration rejected: target power state '" + next.name() +
+        "' would leave zero active banks");
+  }
   assert(interconnect_.idle() && "cores must be quiesced before reconfiguration");
   return plan(next, /*execute=*/true, now);
 }

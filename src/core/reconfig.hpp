@@ -46,7 +46,9 @@ class ReconfigManager {
 
   /// Transition to `next` at time `now`.  Preconditions: the cores are
   /// quiesced (no request in flight through the interconnect) — asserted
-  /// via Interconnect::idle().
+  /// via Interconnect::idle().  Throws std::invalid_argument (a clear
+  /// error, not an assert) if `next` would leave zero active banks — a
+  /// request the fault-degradation path can generate.
   ReconfigCost apply(const PowerState& next, Cycle now);
 
   /// Write-back cost estimate without performing the transition (used by

@@ -95,6 +95,19 @@ void Core::skip(Cycle from, Cycle to) {
   }
 }
 
+const char* Core::state_name() const {
+  switch (state_) {
+    case State::kFetch: return "fetch";
+    case State::kCompute: return "compute";
+    case State::kWaitInject: return "wait-inject";
+    case State::kWaitMem: return "wait-mem";
+    case State::kWaitIFetch: return "wait-ifetch";
+    case State::kAtBarrier: return "at-barrier";
+    case State::kDone: return "done";
+  }
+  return "?";
+}
+
 void Core::process_next_record(Cycle now) {
   // Instruction-cache hits are overlapped with execution (zero cost), so we
   // may chain through a bounded number of them within one cycle.

@@ -109,6 +109,8 @@ class Core {
   void warm_l1i(Addr base, std::size_t bytes);
 
   bool done() const { return state_ == State::kDone; }
+  /// Human-readable state label for watchdog / deadlock diagnostics.
+  const char* state_name() const;
   CoreId id() const { return id_; }
   const CoreStats& stats() const { return stats_; }
   const mem::CacheStats& l1i_stats() const { return l1i_.stats(); }

@@ -1,0 +1,87 @@
+#include "fault/degradation.hpp"
+
+namespace mot3d::fault {
+
+DegradationManager::DegradationManager(bool mot_fabric, std::size_t min_banks)
+    : mot_fabric_(mot_fabric), min_banks_(min_banks == 0 ? 1 : min_banks) {}
+
+std::optional<core::PowerState> DegradationManager::gate_target(
+    const core::PowerState& current, BankId faulted) const {
+  std::size_t banks = current.active_banks();
+  while (banks / 2 >= min_banks_) {
+    banks /= 2;
+    core::PowerState next("PC" + std::to_string(current.active_cores()) +
+                              "-MB" + std::to_string(banks),
+                          current.total_cores(), current.active_cores(),
+                          current.total_banks(), banks);
+    if (!next.bank_active(faulted)) return next;
+  }
+  return std::nullopt;
+}
+
+DegradeAction DegradationManager::react(const FaultEvent& ev,
+                                        const core::PowerState& current,
+                                        unsigned default_penalty_cycles) const {
+  DegradeAction act;
+  act.unit = ev.target;
+  act.penalty_cycles = ev.magnitude != 0 ? ev.magnitude : default_penalty_cycles;
+
+  switch (ev.kind) {
+    case FaultKind::kTsvDegrade:
+      // The marginal via is permanent — the penalty applies even to a
+      // currently-gated bank in case a thermal restore re-activates it.
+      act.kind = DegradeActionKind::kDegradeMotBank;
+      act.note = "tsv-degrade: bank " + std::to_string(ev.target);
+      return act;
+
+    case FaultKind::kLinkDegrade:
+      act.kind = DegradeActionKind::kThrottleRouter;
+      act.note = "link-degrade: router " + std::to_string(ev.target);
+      return act;
+
+    case FaultKind::kDropInvalidate:
+      act.kind = DegradeActionKind::kDropInvalidate;
+      act.note = "drop-invalidate";
+      return act;
+
+    case FaultKind::kRouterFail:
+      // Static dimension-order routing has no detour around a dead router.
+      act.kind = DegradeActionKind::kUnrecoverable;
+      act.note = "router " + std::to_string(ev.target) +
+                 " hard-faulted: packet-switched fabric cannot reroute";
+      return act;
+
+    case FaultKind::kTsvFail:
+    case FaultKind::kBankFail:
+      break;
+  }
+
+  // Hard bank / TSV-column faults.
+  const char* what = ev.kind == FaultKind::kTsvFail ? "tsv column" : "bank";
+  if (!mot_fabric_) {
+    act.kind = DegradeActionKind::kUnrecoverable;
+    act.note = std::string(what) + " " + std::to_string(ev.target) +
+               " hard-faulted: fabric has no reconfiguration path";
+    return act;
+  }
+  if (!current.bank_active(ev.target)) {
+    act.kind = DegradeActionKind::kNone;  // already outside the active set
+    act.note = std::string(what) + " " + std::to_string(ev.target) +
+               " already gated";
+    return act;
+  }
+  if (auto target = gate_target(current, ev.target)) {
+    act.kind = DegradeActionKind::kGateBanks;
+    act.target = std::move(target);
+    act.note = std::string(what) + " " + std::to_string(ev.target) +
+               " hard-faulted: gating to " + act.target->name();
+    return act;
+  }
+  act.kind = DegradeActionKind::kUnrecoverable;
+  act.note = std::string(what) + " " + std::to_string(ev.target) +
+             " hard-faulted inside the minimum centre group (MB" +
+             std::to_string(min_banks_) + ")";
+  return act;
+}
+
+}  // namespace mot3d::fault

@@ -1,0 +1,57 @@
+#include "fault/watchdog.hpp"
+
+#include <algorithm>
+
+namespace mot3d::fault {
+
+Watchdog::Watchdog(const WatchdogConfig& cfg)
+    : cfg_(cfg), start_(std::chrono::steady_clock::now()) {
+  if (cfg_.check_interval_cycles == 0) cfg_.check_interval_cycles = 1;
+  if (cfg_.deadline_check_interval_cycles == 0) cfg_.deadline_check_interval_cycles = 1;
+  next_progress_check_ = cfg_.check_interval_cycles;
+  next_deadline_check_ = cfg_.wall_deadline_seconds > 0.0
+                             ? cfg_.deadline_check_interval_cycles
+                             : kNeverCycle;
+  advance_boundary();
+}
+
+void Watchdog::advance_boundary() {
+  next_check_ = std::min(next_progress_check_, next_deadline_check_);
+}
+
+WatchdogVerdict Watchdog::poll(Cycle now, std::uint64_t signature) {
+  if (now < next_check_) return WatchdogVerdict::kOk;
+
+  WatchdogVerdict verdict = WatchdogVerdict::kOk;
+  if (now >= next_deadline_check_) {
+    while (next_deadline_check_ <= now) {
+      next_deadline_check_ += cfg_.deadline_check_interval_cycles;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    if (elapsed > cfg_.wall_deadline_seconds) {
+      verdict = WatchdogVerdict::kDeadlineExceeded;
+    }
+  }
+  if (now >= next_progress_check_) {
+    while (next_progress_check_ <= now) {
+      next_progress_check_ += cfg_.check_interval_cycles;
+    }
+    if (have_signature_ && signature == last_signature_) {
+      ++frozen_checks_;
+      if (frozen_checks_ >= cfg_.stall_checks &&
+          verdict == WatchdogVerdict::kOk) {
+        verdict = WatchdogVerdict::kStalled;
+      }
+    } else {
+      frozen_checks_ = 0;
+    }
+    last_signature_ = signature;
+    have_signature_ = true;
+  }
+  advance_boundary();
+  return verdict;
+}
+
+}  // namespace mot3d::fault

@@ -1,0 +1,85 @@
+// Simulation watchdog: turns hangs into diagnosable failures.
+//
+// Contract (see DESIGN.md):
+//  * Check boundaries are *simulated* cycles, so both schedulers evaluate
+//    the watchdog at identical instants (a boundary is an event in the
+//    event-driven loop).  Enabling the watchdog never changes a run's
+//    results — boundaries only split event-horizon skips, which the skip
+//    linearity contract guarantees is invisible.
+//  * Progress is a monotone signature of real work (instructions retired,
+//    L2/DRAM traffic, messages delivered) — NOT stall or spin cycles,
+//    which keep advancing while a run is wedged.  A signature frozen for
+//    `stall_checks` consecutive boundaries is a no-progress stall and the
+//    cluster throws WatchdogError carrying a parked-state dump.
+//  * The optional wall-clock deadline (mot3d_experiments --timeout) is
+//    evaluated at the same boundaries.  It is inherently non-deterministic
+//    (real time) and exists only to bound CI jobs; golden runs never set it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace mot3d::fault {
+
+struct WatchdogConfig {
+  bool enabled = false;
+  Cycle check_interval_cycles = 50'000;
+  /// Consecutive zero-progress checks before declaring a stall.  Sized so
+  /// legitimate quiet spells (DRAM round trips, governor holds of a few
+  /// tens of kcycles) never trip it.
+  unsigned stall_checks = 4;
+  /// Wall-clock budget in seconds; 0 disables the deadline.
+  double wall_deadline_seconds = 0.0;
+  /// Deadline polling interval.  Finer than the progress interval so a
+  /// tiny --timeout fires early in a run; still a simulated-cycle
+  /// boundary, so determinism of results is unaffected.
+  Cycle deadline_check_interval_cycles = 4'096;
+};
+
+/// Thrown by Cluster::run() when the watchdog fires; what() carries the
+/// one-line verdict followed by the parked-state diagnostic dump.
+class WatchdogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class WatchdogVerdict {
+  kOk,
+  kStalled,           ///< no forward progress for `stall_checks` checks
+  kDeadlineExceeded,  ///< wall-clock budget exhausted
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(const WatchdogConfig& cfg);
+
+  /// Earliest cycle at which poll() will do work again; folded into
+  /// Cluster::next_event_cycle() so the event scheduler lands on it.
+  Cycle next_check_cycle() const { return next_check_; }
+
+  /// Evaluate the watchdog at cycle `now` with the current progress
+  /// signature.  Cheap no-op before the next boundary; callers may guard
+  /// on next_check_cycle() to skip computing the signature.
+  WatchdogVerdict poll(Cycle now, std::uint64_t signature);
+
+  double wall_deadline_seconds() const { return cfg_.wall_deadline_seconds; }
+  unsigned stall_checks() const { return cfg_.stall_checks; }
+  Cycle check_interval_cycles() const { return cfg_.check_interval_cycles; }
+
+ private:
+  void advance_boundary();
+
+  WatchdogConfig cfg_;
+  Cycle next_check_ = 0;
+  Cycle next_progress_check_ = 0;
+  Cycle next_deadline_check_ = 0;
+  bool have_signature_ = false;
+  std::uint64_t last_signature_ = 0;
+  unsigned frozen_checks_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mot3d::fault

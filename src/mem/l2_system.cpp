@@ -231,6 +231,11 @@ void L2System::set_active_banks(const std::vector<bool>& active) {
   if (active.size() != banks_.size()) {
     throw std::invalid_argument("active mask size mismatch");
   }
+  if (std::none_of(active.begin(), active.end(), [](bool a) { return a; })) {
+    throw std::invalid_argument(
+        "reconfiguration rejected: gating request would leave zero active "
+        "L2 banks");
+  }
   active_ = active;
 }
 
@@ -252,6 +257,18 @@ std::size_t L2System::resident_lines() const {
   std::size_t n = 0;
   for (const Bank& bank : banks_) n += bank.cache.valid_lines();
   return n;
+}
+
+L2System::BankDebug L2System::bank_debug(BankId b) const {
+  const Bank& bank = banks_.at(b);
+  BankDebug d;
+  d.in_queue = bank.in_queue.size();
+  d.out_queue = bank.out_queue.size();
+  d.misses_in_flight = bank.misses_in_flight;
+  d.coh_stalled = bank.coh_pending.has_value();
+  d.coh_acks_remaining =
+      bank.coh_pending.has_value() ? bank.coh_pending->acks_remaining : 0;
+  return d;
 }
 
 }  // namespace mot3d::mem

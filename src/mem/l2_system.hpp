@@ -95,6 +95,9 @@ class L2System {
 
   /// Which banks are powered (affects leakage accounting and asserts that
   /// no request reaches a gated bank).  Does not move data — use flush().
+  /// Throws std::invalid_argument if `active` would leave every bank off —
+  /// a request the fault-degradation path can generate and must surface as
+  /// a clear error rather than a downstream assert.
   void set_active_banks(const std::vector<bool>& active);
   const std::vector<bool>& active_banks() const { return active_; }
   std::size_t num_active_banks() const;
@@ -113,6 +116,16 @@ class L2System {
   const L2Stats& stats() const { return stats_; }
   const L2Config& config() const { return cfg_; }
   const CacheStats& bank_cache_stats(BankId b) const { return banks_.at(b).cache.stats(); }
+
+  /// Parked-state snapshot of one bank for watchdog / deadlock dumps.
+  struct BankDebug {
+    std::size_t in_queue = 0;
+    std::size_t out_queue = 0;
+    std::size_t misses_in_flight = 0;
+    bool coh_stalled = false;       ///< transaction parked on invalidations
+    unsigned coh_acks_remaining = 0;
+  };
+  BankDebug bank_debug(BankId b) const;
 
   /// Leakage power of the currently-powered banks, mW.
   double leakage_mw() const {

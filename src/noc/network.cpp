@@ -52,6 +52,10 @@ void NocNetwork::set_route(std::uint32_t router, NodeId dst, std::uint32_t out_p
   routers_.at(router).route.at(dst) = out_port;
 }
 
+void NocNetwork::set_router_throttle(std::uint32_t router, unsigned extra_cycles) {
+  routers_.at(router).throttle += extra_cycles;
+}
+
 bool NocNetwork::try_inject(const Packet& p, Cycle now) {
   EndpointNi& ni = endpoints_.at(p.src);
   if (ni.inject_q.size() + p.length_flits > EndpointNi::kMaxInjectQ) return false;
@@ -194,9 +198,13 @@ void NocNetwork::tick(Cycle now) {
 
   // 2. Routers: every output port moves at most one flit per cycle,
   //    alternating fairly between the two virtual networks (requests may
-  //    never starve responses, and vice versa).
+  //    never starve responses, and vice versa).  A fault-throttled router
+  //    is serialised: at most one flit total per window, then it pauses
+  //    `throttle` cycles (degraded link retrains every transfer).
   for (std::uint32_t ri = 0; ri < routers_.size(); ++ri) {
     Router& r = routers_[ri];
+    if (r.throttle > 0 && r.busy_until > now) continue;
+    bool moved = false;
     for (std::uint32_t po = 0; po < r.out.size(); ++po) {
       OutPort& op = r.out[po];
       if (op.target.kind == Target::Kind::kNone) continue;
@@ -205,10 +213,13 @@ void NocNetwork::tick(Cycle now) {
         const auto vc = static_cast<std::uint8_t>((first + i) % kNumVcs);
         if (router_output_step(ri, po, vc, now)) {
           op.vc_rr = static_cast<std::uint8_t>((vc + 1) % kNumVcs);
+          moved = true;
           break;
         }
       }
+      if (moved && r.throttle > 0) break;  // serialised crossbar
     }
+    if (moved && r.throttle > 0) r.busy_until = now + 1 + r.throttle;
   }
 
   // 3. Endpoint NIs: one flit per cycle enters the fabric.
@@ -262,8 +273,10 @@ Cycle NocNetwork::next_event(Cycle now) const {
     for (const InPort& ip : r.in) {
       for (const auto& q : ip.q) {
         if (q.empty()) continue;
-        if (q.front().ready_at <= now) return now;
-        next = std::min(next, q.front().ready_at);
+        Cycle ready = q.front().ready_at;
+        if (r.throttle > 0) ready = std::max(ready, r.busy_until);
+        if (ready <= now) return now;
+        next = std::min(next, ready);
       }
     }
   }

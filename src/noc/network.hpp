@@ -117,6 +117,12 @@ class NocNetwork {
   std::size_t num_routers() const { return routers_.size(); }
   std::size_t num_buses() const { return buses_.size(); }
 
+  /// Fault injection: serialise router `router`'s crossbar — at most one
+  /// flit moves per window and each moved flit costs `extra_cycles` extra
+  /// pause (a degraded link retrains/retries every transfer).  Cumulative
+  /// and permanent.
+  void set_router_throttle(std::uint32_t router, unsigned extra_cycles);
+
   /// Total link wire in the topology (leakage accounting), mm.
   double total_link_mm() const { return total_link_mm_; }
 
@@ -134,6 +140,8 @@ class NocNetwork {
     std::vector<InPort> in;
     std::vector<OutPort> out;
     std::vector<std::uint32_t> route;  ///< per endpoint -> out port
+    unsigned throttle = 0;   ///< fault: extra cycles per moved flit (0 = healthy)
+    Cycle busy_until = 0;    ///< fault: serialisation pacing
   };
   struct Bus {
     struct Slot {

@@ -35,6 +35,13 @@ class NocInterconnect final : public Interconnect {
   const NocNetwork& network() const { return net_; }
   NocTopology topology() const { return topology_; }
 
+  /// Fault injection: serialise one router's crossbar (see
+  /// NocNetwork::set_router_throttle).
+  void set_router_throttle(std::uint32_t router, unsigned extra_cycles) {
+    net_.set_router_throttle(router, extra_cycles);
+  }
+  std::size_t num_routers() const { return net_.num_routers(); }
+
  private:
   NodeId core_node(CoreId c) const { return c; }
   NodeId bank_node(BankId b) const {

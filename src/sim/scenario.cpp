@@ -93,6 +93,31 @@ JsonObject run_metrics(const ScenarioRun& run, const cluster::SimResult& r) {
         .set("coh_dir_peak_entries", c.dir_peak_entries)
         .set("coh_dir_migrations", c.dir_migrations);
   }
+  // Fault counters appear only for fault-injected runs — fault-free
+  // scenarios (every legacy golden) keep their exact field set.
+  if (run.fault.enabled) {
+    const fault::FaultSummary& f = r.fault;
+    o.set("fault_outcome", f.outcome)
+        .set("fault_injected", f.injected)
+        .set("fault_recovered", f.recovered)
+        .set("fault_unrecoverable", f.unrecoverable)
+        .set("fault_bank_gate_events", f.bank_gate_events)
+        .set("fault_degraded_cycles", f.degraded_cycles)
+        .set("fault_repair_pj", f.repair_energy_pj);
+    if (!f.fail_reason.empty()) o.set("fault_fail_reason", f.fail_reason);
+  }
+  return o;
+}
+
+/// An errored run serialises its axes plus the error message — no modeled
+/// metrics exist for it.
+JsonObject run_error_metrics(const ScenarioRun& run, const std::string& error) {
+  JsonObject o;
+  o.set("app", run.app)
+      .set("fabric", cluster::fabric_name(run.fabric))
+      .set("state", run.state.name())
+      .set("dram_ns", mem::dram_latency_ns(run.dram))
+      .set("error", error);
   return o;
 }
 
@@ -136,6 +161,12 @@ void present_generic(const ScenarioOutcome& out, std::ostream& os) {
                   "L2 hit rate", "EDP (pJ s)"});
   for (std::size_t i = 0; i < out.results.size(); ++i) {
     const ScenarioRun& run = out.runs[i];
+    if (!out.run_ok(i)) {
+      tbl.add_row({run.app, cluster::fabric_name(run.fabric), run.state.name(),
+                   fmt_fixed(mem::dram_latency_ns(run.dram), 0), "error", "-",
+                   "-", "-"});
+      continue;
+    }
     const cluster::SimResult& r = out.results[i];
     tbl.add_row({run.app, cluster::fabric_name(run.fabric), run.state.name(),
                  fmt_fixed(mem::dram_latency_ns(run.dram), 0),
@@ -151,7 +182,8 @@ void present_generic(const ScenarioOutcome& out, std::ostream& os) {
 std::size_t ScenarioSpec::grid_size() const {
   if (kind != Kind::kSweep) return power_states.size();
   return apps.size() * fabrics.size() * power_states.size() * dram_presets.size() *
-         std::max<std::size_t>(1, thermal_envelopes.size());
+         std::max<std::size_t>(1, thermal_envelopes.size()) *
+         std::max<std::size_t>(1, fault_envelopes.size());
 }
 
 std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec, std::size_t* skipped) {
@@ -161,6 +193,11 @@ std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec, std::size_t* skip
       spec.thermal_envelopes.empty()
           ? std::vector<thermal::ThermalEnvelope>{thermal::ThermalEnvelope{}}
           : spec.thermal_envelopes;
+  // Same trick for the fault axis: absent means one disabled cell.
+  const std::vector<fault::FaultEnvelope> fault_envs =
+      spec.fault_envelopes.empty()
+          ? std::vector<fault::FaultEnvelope>{fault::FaultEnvelope{}}
+          : spec.fault_envelopes;
   std::vector<ScenarioRun> runs;
   std::size_t dropped = 0;
   for (const std::string& app : spec.apps) {
@@ -168,11 +205,13 @@ std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec, std::size_t* skip
       for (const core::PowerState& state : spec.power_states) {
         for (mem::DramPreset dram : spec.dram_presets) {
           for (const thermal::ThermalEnvelope& env : envelopes) {
-            const ScenarioRun run{app, fabric, state, dram, env};
-            if (run_is_valid(run)) {
-              runs.push_back(run);
-            } else {
-              ++dropped;
+            for (const fault::FaultEnvelope& fenv : fault_envs) {
+              const ScenarioRun run{app, fabric, state, dram, env, fenv};
+              if (run_is_valid(run)) {
+                runs.push_back(run);
+              } else {
+                ++dropped;
+              }
             }
           }
         }
@@ -185,6 +224,14 @@ std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec, std::size_t* skip
 
 const char* invalid_cell_reason() {
   return "packet-switched fabrics only run ungated";
+}
+
+std::size_t ScenarioOutcome::error_count() const {
+  std::size_t n = 0;
+  for (const std::string& e : errors) {
+    if (!e.empty()) ++n;
+  }
+  return n;
 }
 
 const cluster::SimResult& ScenarioOutcome::result(const std::string& app,
@@ -246,9 +293,22 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioOptions& op
         opt.scale, opt.seed);
     cfg.scheduler = opt.scheduler;
     cfg.thermal = thermal::ThermalConfig::from_envelope(run.thermal);
+    cfg.fault = fault::FaultConfig::from_envelope(run.fault);
+    if (opt.timeout_seconds > 0.0) {
+      cfg.watchdog.enabled = true;
+      cfg.watchdog.wall_deadline_seconds = opt.timeout_seconds;
+    }
     tasks.push_back([cfg] { return cluster::Cluster(cfg).run(); });
   }
-  out.results = runner.run(tasks);
+  // Isolated execution: one wedged or timed-out run becomes that run's
+  // error string; every other cell still completes and serialises.
+  std::vector<IsolatedResult> isolated = runner.run_isolated(tasks);
+  out.results.reserve(isolated.size());
+  out.errors.reserve(isolated.size());
+  for (IsolatedResult& r : isolated) {
+    out.results.push_back(std::move(r.result));
+    out.errors.push_back(std::move(r.error));
+  }
   out.telemetry = runner.telemetry();
   return out;
 }
@@ -274,7 +334,11 @@ std::string scenario_metrics_json(const ScenarioOutcome& outcome) {
     head.set_raw("l2_bank_sram", sram.str());
   } else {
     for (std::size_t i = 0; i < outcome.results.size(); ++i) {
-      runs.push(run_metrics(outcome.runs[i], outcome.results[i]));
+      if (outcome.run_ok(i)) {
+        runs.push(run_metrics(outcome.runs[i], outcome.results[i]));
+      } else {
+        runs.push(run_error_metrics(outcome.runs[i], outcome.errors[i]));
+      }
     }
   }
 
@@ -311,6 +375,15 @@ int run_and_present(const ScenarioSpec& spec, const ScenarioOptions& opt,
     os << "note: skipped " << out.skipped_invalid << " invalid grid cells ("
        << invalid_cell_reason() << ")\n";
   }
+  // Per-run failures (watchdog timeouts, wedges) were isolated: the other
+  // cells completed, but the scenario as a whole did not — report each one
+  // and exit non-zero below.
+  for (std::size_t i = 0; i < out.errors.size(); ++i) {
+    if (out.run_ok(i)) continue;
+    const ScenarioRun& run = out.runs[i];
+    os << "error: run " << run.app << "/" << fabric_key(run.fabric) << "/"
+       << run.state.name() << " failed: " << out.errors[i] << "\n";
+  }
   if (spec.kind == ScenarioSpec::Kind::kSweep) {
     const PerfTelemetry& t = out.telemetry;
     os << "[perf] " << t.runs << " runs, " << fmt_fixed(t.wall_seconds, 2)
@@ -325,7 +398,7 @@ int run_and_present(const ScenarioSpec& spec, const ScenarioOptions& opt,
       std::cerr << "warning: could not write " << opt.json_path << "\n";
     }
   }
-  return 0;
+  return out.error_count() > 0 ? 1 : 0;
 }
 
 ScenarioOptions golden_options(const ScenarioSpec& spec) {

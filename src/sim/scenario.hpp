@@ -40,6 +40,10 @@ struct ScenarioOptions {
   unsigned threads = 0;  ///< 0 = hardware concurrency
   cluster::SchedulerMode scheduler = cluster::SchedulerMode::kEventDriven;
   std::string json_path;  ///< perf + metrics report destination ("" = none)
+  /// Per-run wall-clock budget in seconds (0 = none).  Engages the cluster
+  /// watchdog: a run over budget dies with a WatchdogError that the sweep
+  /// records as that run's error instead of wedging the whole process.
+  double timeout_seconds = 0.0;
 };
 
 /// One experiment, described declaratively.
@@ -52,7 +56,7 @@ struct ScenarioSpec {
   Kind kind = Kind::kSweep;
 
   // -- sweep grid (kSweep; expansion order: apps > fabrics > states > dram
-  //    > thermal envelopes) --
+  //    > thermal envelopes > fault envelopes) --
   std::vector<std::string> apps;
   std::vector<cluster::Fabric> fabrics;
   std::vector<core::PowerState> power_states;
@@ -60,6 +64,9 @@ struct ScenarioSpec {
   /// Thermal axis: ambient x ceiling cells (src/thermal/).  Empty means
   /// one implicit disabled cell — non-thermal sweeps are unaffected.
   std::vector<thermal::ThermalEnvelope> thermal_envelopes;
+  /// Fault axis: rate x seed cells (src/fault/).  Empty means one implicit
+  /// disabled cell — fault-free sweeps keep byte-identical goldens.
+  std::vector<fault::FaultEnvelope> fault_envelopes;
 
   // -- run knobs --
   double default_scale = 0.5;  ///< bench-binary default (--scale overrides)
@@ -86,6 +93,7 @@ struct ScenarioRun {
   core::PowerState state = core::PowerState::full();
   mem::DramPreset dram = mem::DramPreset::kDdr3_200ns;
   thermal::ThermalEnvelope thermal;  ///< disabled unless the spec has an axis
+  fault::FaultEnvelope fault;        ///< disabled unless the spec has an axis
 };
 
 /// Analytic payload of a kTiming scenario, one row per power state.
@@ -119,7 +127,14 @@ struct ScenarioOutcome {
   // kSweep: runs[i] produced results[i] (grid order).
   std::vector<ScenarioRun> runs;
   std::vector<cluster::SimResult> results;
+  /// errors[i] is the exception message of the run that died (watchdog
+  /// timeout, wedge, config error); "" for runs that completed.  Sized
+  /// like `runs` for sweeps, empty for timing scenarios.
+  std::vector<std::string> errors;
   std::size_t skipped_invalid = 0;  ///< gated states on packet-switched fabrics
+
+  bool run_ok(std::size_t i) const { return i >= errors.size() || errors[i].empty(); }
+  std::size_t error_count() const;
 
   // kTiming payload.
   std::vector<TimingRow> timing_rows;

@@ -442,6 +442,61 @@ void present_coherence(const ScenarioOutcome& out, std::ostream& os) {
      << "\n";
 }
 
+// ---- fault-resilience presenter --------------------------------------------
+
+void present_fault(const ScenarioOutcome& out, std::ostream& os) {
+  print_header(out, "Fault resilience: graceful degradation vs hard failure", os);
+  TextTable tbl("per-run fault trajectory");
+  tbl.set_header({"app", "fabric", "state", "degr/hard rate", "seed", "outcome",
+                  "inj", "recov", "unrec", "gates", "degr kcyc", "repair pJ",
+                  "kcycles"});
+  bool mot_full_never_fails = true;
+  bool mesh_hard_always_fails = true;
+  bool any_mot_gate = false;
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    const ScenarioRun& run = out.runs[i];
+    if (!out.run_ok(i)) {
+      tbl.add_row({run.app, cluster::fabric_name(run.fabric), run.state.name(),
+                   fmt_fixed(run.fault.tsv_fault_rate, 1) + "/" +
+                       fmt_fixed(run.fault.bank_fault_rate, 1),
+                   std::to_string(run.fault.seed), "ERROR", "-", "-", "-", "-",
+                   "-", "-", "-"});
+      continue;
+    }
+    const cluster::SimResult& r = out.results[i];
+    const fault::FaultSummary& f = r.fault;
+    tbl.add_row({run.app, cluster::fabric_name(run.fabric), run.state.name(),
+                 fmt_fixed(run.fault.tsv_fault_rate, 1) + "/" +
+                     fmt_fixed(run.fault.bank_fault_rate, 1),
+                 std::to_string(run.fault.seed), f.outcome,
+                 std::to_string(f.injected), std::to_string(f.recovered),
+                 std::to_string(f.unrecoverable),
+                 std::to_string(f.bank_gate_events),
+                 fmt_fixed(static_cast<double>(f.degraded_cycles) / 1000.0, 1),
+                 fmt_fixed(f.repair_energy_pj, 1),
+                 fmt_fixed(static_cast<double>(r.cycles) / 1000.0, 0)});
+    const bool is_mot = run.fabric == cluster::Fabric::kMot;
+    if (is_mot && run.state.name() == "Full" && f.outcome == "failed") {
+      mot_full_never_fails = false;
+    }
+    if (!is_mot && run.fault.bank_fault_rate > 0.0 && f.outcome != "failed") {
+      mesh_hard_always_fails = false;
+    }
+    if (is_mot && f.bank_gate_events > 0) any_mot_gate = true;
+  }
+  tbl.print(os);
+
+  // The research point: the MoT's reconfigurable routing absorbs hard bank
+  // faults by gating around them; static dimension-order packet fabrics
+  // cannot and must fail — structurally, not by wedging.
+  os << "shape check: MoT (Full) absorbs every hard fault: "
+     << (mot_full_never_fails ? "PASS" : "CHECK") << "\n";
+  os << "shape check: packet mesh fails on hard faults: "
+     << (mesh_hard_always_fails ? "PASS" : "CHECK") << "\n";
+  os << "shape check: fault-triggered bank gating occurred on the MoT: "
+     << (any_mot_gate ? "PASS" : "CHECK") << "\n";
+}
+
 // ---- registry construction -------------------------------------------------
 
 ScenarioSpec timing_spec(std::string name, std::string figure,
@@ -540,6 +595,35 @@ ScenarioSpec coherence_spec() {
   return s;
 }
 
+ScenarioSpec fault_spec() {
+  ScenarioSpec s;
+  s.name = "fault_resilience";
+  s.figure = "§III (resilience)";
+  s.description =
+      "TSV/link/bank fault injection: graceful degradation vs hard failure";
+  // One representative app; the MoT against the packet-switched mesh (only
+  // the MoT can gate around a dead bank), Full and the MB8 floor, over
+  // three fault envelopes: degrades only, degrades + some hard faults,
+  // and a harsher mix with a different seed.  The seeds are chosen so the
+  // hard faults land on *gateable* banks (outside the MB8 centre group
+  // 12..19): the scenario demonstrates graceful degradation vs structural
+  // failure across fabrics, while tests/test_fault.cpp covers the
+  // centre-group fault that is unrecoverable even on the MoT.
+  s.apps = {"fft"};
+  s.fabrics = {cluster::Fabric::kMot, cluster::Fabric::kTrueMesh3d};
+  s.power_states = {core::PowerState::full(), core::PowerState::pc16_mb8()};
+  s.dram_presets = {mem::DramPreset::kDdr3_200ns};
+  s.fault_envelopes = {
+      fault::FaultEnvelope{true, 1.0, 0.0, 101},
+      fault::FaultEnvelope{true, 1.0, 0.5, 103},
+      fault::FaultEnvelope{true, 2.0, 1.0, 202},
+  };
+  s.default_scale = 0.5;
+  s.golden_scale = 0.02;
+  s.present = present_fault;
+  return s;
+}
+
 ScenarioSpec custom_spec(std::string name, std::string description,
                          int (*body)(const ScenarioSpec&, const ScenarioOptions&,
                                      std::ostream&),
@@ -590,6 +674,7 @@ std::vector<ScenarioSpec> build_registry() {
                           }));
   r.push_back(thermal_spec());
   r.push_back(coherence_spec());
+  r.push_back(fault_spec());
   r.push_back(custom_spec("ablation_wire",
                           "repeater insertion vs Elmore wire delay",
                           run_ablation_wire, 0.5));

@@ -70,4 +70,29 @@ std::vector<cluster::SimResult> SweepRunner::run(const std::vector<Task>& tasks)
   return results;
 }
 
+std::vector<IsolatedResult> SweepRunner::run_isolated(
+    const std::vector<Task>& tasks) {
+  std::vector<IsolatedResult> results(tasks.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  // The catch lives *inside* fn, so parallel_for never sees a failure and
+  // never stops handing out tasks — isolation, not abort-on-first-throw.
+  parallel_for(tasks.size(), [&](std::size_t i) {
+    try {
+      results[i].result = tasks[i]();
+    } catch (const std::exception& e) {
+      results[i].error = e.what();
+    } catch (...) {
+      results[i].error = "unknown exception";
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  telemetry_.wall_seconds += std::chrono::duration<double>(t1 - t0).count();
+  telemetry_.runs += tasks.size();
+  for (const IsolatedResult& r : results) {
+    if (r.ok()) telemetry_.simulated_cycles += r.result.cycles;
+  }
+  return results;
+}
+
 }  // namespace mot3d::sim

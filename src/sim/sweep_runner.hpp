@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -34,6 +35,14 @@ struct PerfTelemetry {
   }
 };
 
+/// One task's outcome under SweepRunner::run_isolated: either a result or
+/// the message of the exception that killed that task alone.
+struct IsolatedResult {
+  cluster::SimResult result;
+  std::string error;  ///< empty on success
+  bool ok() const { return error.empty(); }
+};
+
 class SweepRunner {
  public:
   using Task = std::function<cluster::SimResult()>;
@@ -48,6 +57,14 @@ class SweepRunner {
   /// tasks start after the failure (in-flight tasks finish) and the
   /// first exception by task index is rethrown after the pool drains.
   std::vector<cluster::SimResult> run(const std::vector<Task>& tasks);
+
+  /// Run every task with per-task fault isolation: a throwing task records
+  /// its exception message at its own index and never aborts its peers —
+  /// all n tasks always execute, and the returned vector is in task order
+  /// (byte-identical at any thread count).  Use this for sweeps that must
+  /// survive individual wedged or failed simulations (fault-injection
+  /// grids, watchdog timeouts).
+  std::vector<IsolatedResult> run_isolated(const std::vector<Task>& tasks);
 
   /// Deterministically-indexed generic parallel loop: fn(i) for i in
   /// [0, n).  fn must only write state owned by index i.

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Soak harness for the mot3d_experiments CLI.
+
+Drives the release binary the way a user (or CI) does and checks the
+externally visible contract: exit codes, shape-check lines, golden
+baselines, and — the robustness PR's point — that a hung simulation is
+converted into a structured error instead of wedging the job.  Every
+subprocess runs under a hard wall timeout so a simulator deadlock fails
+this harness loudly rather than hanging the pipeline.
+
+Usage:
+    python3 tests/soak_harness.py [--binary PATH] [--full]
+
+  --binary   path to mot3d_experiments (default: ./mot3d_experiments,
+             i.e. run from the build directory)
+  --full     also re-verify every golden baseline (slower; the smoke
+             subset is sized for per-commit CI)
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+TIMEOUT = 300  # seconds per subprocess: generous, but deadlocks must die
+
+
+class TestResult:
+    def __init__(self, name, success, details=""):
+        self.name = name
+        self.success = success
+        self.details = details
+
+
+def run_cmd(binary, args):
+    cmd = [binary] + args
+    print(f"  command: {' '.join(cmd)}")
+    return subprocess.run(cmd, capture_output=True, text=True, timeout=TIMEOUT)
+
+
+def run_test(binary, name, args, expect_exit=0, expect_patterns=(),
+             forbid_patterns=()):
+    """Run one CLI invocation and grade exit code + output regexes.
+
+    `expect_exit` is an exact code, or "nonzero" for any failure exit.
+    """
+    print(f"Running: {name}...")
+    try:
+        result = run_cmd(binary, args)
+    except subprocess.TimeoutExpired:
+        return TestResult(name, False,
+                          f"timeout after {TIMEOUT}s (possible deadlock)")
+    except OSError as e:
+        return TestResult(name, False, f"failed to launch: {e}")
+
+    output = result.stdout + result.stderr
+    bad_exit = (result.returncode == 0 if expect_exit == "nonzero"
+                else result.returncode != expect_exit)
+    if bad_exit:
+        return TestResult(
+            name, False,
+            f"exit code {result.returncode}, expected {expect_exit}\n"
+            f"stderr: {result.stderr.strip()[:500]}")
+    for pattern in expect_patterns:
+        if not re.search(pattern, output):
+            return TestResult(name, False, f"missing /{pattern}/ in output")
+    for pattern in forbid_patterns:
+        if re.search(pattern, output):
+            return TestResult(name, False, f"forbidden /{pattern}/ in output")
+    return TestResult(name, True, f"exit {result.returncode}")
+
+
+def smoke_tests(binary):
+    return [
+        run_test(
+            binary, "scenario registry lists the fault scenario",
+            ["list"],
+            expect_patterns=[r"fault_resilience"]),
+        run_test(
+            binary, "fault resilience at golden scale",
+            ["run", "fault_resilience", "--golden"],
+            expect_patterns=[
+                r"shape check: MoT \(Full\) absorbs every hard fault: PASS",
+                r"shape check: packet mesh fails on hard faults: PASS",
+                r"shape check: fault-triggered bank gating occurred on the "
+                r"MoT: PASS",
+            ],
+            forbid_patterns=[r"error: run"]),
+        # A micro wall deadline must abort the run as a structured one-line
+        # error with a non-zero exit — never a hang, never a wedge.
+        run_test(
+            binary, "watchdog --timeout converts a long run into an error",
+            ["grid", "--apps=fft", "--scale=0.01", "--timeout=0.000001"],
+            expect_exit=1,
+            expect_patterns=[
+                r"error: run fft/\S+/\S+ failed: "
+                r"watchdog: wall-clock deadline",
+            ]),
+        run_test(
+            binary, "bad --timeout is rejected",
+            ["grid", "--apps=fft", "--timeout=-1"],
+            expect_exit="nonzero",
+            expect_patterns=[r"error:"]),
+        # One cheap analytic scenario keeps the golden path honest without
+        # re-running the whole baseline set on every commit.
+        run_test(
+            binary, "golden baseline spot check",
+            ["check-golden", "fig5_wire_lengths"],
+            expect_patterns=[r"ok: fig5_wire_lengths matches"]),
+        run_test(
+            binary, "unknown scenario exits non-zero",
+            ["run", "no_such_scenario"],
+            expect_exit="nonzero",
+            expect_patterns=[r"error:"]),
+    ]
+
+
+def full_tests(binary):
+    # Re-verify every committed baseline byte-for-byte.
+    return [
+        run_test(
+            binary, "all golden baselines match",
+            ["check-golden"],
+            expect_patterns=[r"ok: fault_resilience matches"],
+            forbid_patterns=[r"error: golden mismatch",
+                             r"error: missing golden baseline"]),
+    ]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", default="./mot3d_experiments")
+    parser.add_argument("--full", action="store_true",
+                        help="also re-verify every golden baseline")
+    opts = parser.parse_args()
+
+    results = smoke_tests(opts.binary)
+    if opts.full:
+        results += full_tests(opts.binary)
+
+    print("\n==== soak harness summary ====")
+    failures = 0
+    for r in results:
+        status = "PASS" if r.success else "FAIL"
+        print(f"  [{status}] {r.name}: {r.details}")
+        failures += 0 if r.success else 1
+    print(f"{len(results) - failures}/{len(results)} passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

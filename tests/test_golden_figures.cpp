@@ -77,7 +77,7 @@ TEST(ScenarioRegistry, AllFigureAndTableScenariosRegistered) {
        {"table1_config", "fig5_wire_lengths", "fig6a_l2_latency",
         "fig6b_exec_time", "fig7a_edp_200ns", "fig7b_exec_time_states",
         "fig8a_edp_63ns", "fig8b_edp_42ns", "thermal_envelope",
-        "coherence_sharing"}) {
+        "coherence_sharing", "fault_resilience"}) {
     const ScenarioSpec* spec = find_scenario(name);
     ASSERT_NE(spec, nullptr) << name;
     EXPECT_TRUE(spec->has_golden) << name;
@@ -88,7 +88,7 @@ TEST(ScenarioRegistry, AllFigureAndTableScenariosRegistered) {
     EXPECT_EQ(spec->kind, ScenarioSpec::Kind::kCustom) << name;
     EXPECT_FALSE(spec->has_golden) << name;
   }
-  EXPECT_EQ(all_scenarios().size(), 13u);
+  EXPECT_EQ(all_scenarios().size(), 14u);
   EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
 }
 
@@ -116,6 +116,18 @@ TEST(ScenarioRegistry, GridExpansionDropsInvalidCombos) {
   EXPECT_TRUE(runs[0].thermal.enabled);
   EXPECT_EQ(runs[0].thermal.ambient_c, 45.0);
   EXPECT_EQ(runs[1].thermal.ambient_c, 60.0);
+
+  // A fault axis multiplies further, as the innermost dimension.
+  spec.fault_envelopes = {fault::FaultEnvelope{true, 1.0, 0.0, 101},
+                          fault::FaultEnvelope{true, 2.0, 1.0, 202}};
+  EXPECT_EQ(spec.grid_size(), 16u);
+  runs = expand_grid(spec, &skipped);
+  EXPECT_EQ(runs.size(), 12u);
+  EXPECT_EQ(skipped, 4u);
+  EXPECT_TRUE(runs[0].fault.enabled);
+  EXPECT_EQ(runs[0].fault.seed, 101u);
+  EXPECT_EQ(runs[1].fault.seed, 202u);
+  EXPECT_EQ(runs[1].fault.bank_fault_rate, 1.0);
 }
 
 TEST(ScenarioRegistry, AxisParsersRoundTrip) {

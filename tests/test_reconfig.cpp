@@ -3,6 +3,8 @@
 // the L2 mask updated, and cost estimates consistent.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "cacti/sram_model.hpp"
 #include "core/mot_interconnect.hpp"
 #include "core/reconfig.hpp"
@@ -196,6 +198,34 @@ TEST_F(ReconfigTest, FlushHappensOnlyWhenDirtyBanksTurnOff) {
   const ReconfigCost cost = mgr.apply(PowerState::pc4_mb8(), now);
   EXPECT_EQ(cost.dirty_lines_flushed, 0u);
   EXPECT_EQ(l2.dirty_lines(15), 2u);
+}
+
+// ---- zero-active-bank gating must be rejected loudly -----------------------
+//
+// The fault-degradation path can request arbitrary gating masks; a state
+// with no powered bank would brick the cluster mid-run.  Every layer that
+// could produce one throws a clear std::invalid_argument instead of
+// tripping asserts downstream: the PowerState constructor (0 is not a
+// power of two), the L2 mask setter, and ReconfigManager::apply's guard.
+
+TEST_F(ReconfigTest, ZeroBankPowerStateCannotBeConstructed) {
+  EXPECT_THROW(PowerState("dead", 16, 16, 32, 0), std::invalid_argument);
+  EXPECT_THROW(PowerState("dead", 16, 0, 32, 8), std::invalid_argument);
+}
+
+TEST_F(ReconfigTest, AllOffBankMaskIsRejectedWithClearError) {
+  const std::vector<bool> all_off(32, false);
+  try {
+    l2.set_active_banks(all_off);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("zero active"), std::string::npos)
+        << e.what();
+  }
+  // The rejected request must not have clobbered the live mask.
+  EXPECT_EQ(l2.num_active_banks(), 32u);
+  EXPECT_THROW(l2.set_active_banks(std::vector<bool>(16, true)),
+               std::invalid_argument);  // size mismatch is also an error
 }
 
 TEST_F(ReconfigTest, DirtySurvivorsPersistAcrossFullRoundTrip) {

@@ -101,6 +101,47 @@ TEST(SweepRunner, FirstExceptionByIndexPropagates) {
   }
 }
 
+TEST(SweepRunner, RunIsolatedRecordsPerTaskErrorsWithoutAbortingPeers) {
+  // A deliberately-throwing task must become its own error string; every
+  // other task still runs and the ordering stays deterministic.
+  std::vector<SweepRunner::Task> tasks = fig6_style_tasks();
+  tasks.insert(tasks.begin() + 2, []() -> cluster::SimResult {
+    throw std::runtime_error("injected task failure");
+  });
+  for (unsigned threads : {1u, 4u}) {
+    SweepRunner runner(threads);
+    const std::vector<IsolatedResult> results = runner.run_isolated(tasks);
+    ASSERT_EQ(results.size(), 9u) << threads;
+    EXPECT_FALSE(results[2].ok()) << threads;
+    EXPECT_EQ(results[2].error, "injected task failure") << threads;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i == 2) continue;
+      EXPECT_TRUE(results[i].ok()) << "thread=" << threads << " task=" << i;
+      EXPECT_GT(results[i].result.cycles, 0u) << i;
+    }
+    // Task order: the throwing task displaced index 2; its neighbours are
+    // still the fig6-style grid in declaration order.
+    EXPECT_EQ(results[0].result.app, "fft");
+    EXPECT_EQ(results[1].result.fabric, "True 3-D Mesh");
+    EXPECT_EQ(results[3].result.fabric, "3-D Hybrid Bus-Mesh");
+  }
+}
+
+TEST(SweepRunner, RunIsolatedAllTasksThrowStillCompletes) {
+  SweepRunner runner(4);
+  std::vector<SweepRunner::Task> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i]() -> cluster::SimResult {
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+  }
+  const std::vector<IsolatedResult> results = runner.run_isolated(tasks);
+  ASSERT_EQ(results.size(), 8u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].error, "task " + std::to_string(i)) << i;
+  }
+}
+
 TEST(SweepRunner, ZeroThreadsResolvesToHardware) {
   EXPECT_GE(SweepRunner(0).threads(), 1u);
   EXPECT_EQ(SweepRunner(3).threads(), 3u);
