@@ -52,6 +52,14 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     throw std::invalid_argument(
         "packet-switched baselines only run the full (ungated) configuration");
   }
+  // The packet-switched topology builders lay out a fixed 4x4x3 tile grid;
+  // only the MoT's tree construction is parametric in the cluster shape.
+  if (cfg_.fabric != Fabric::kMot &&
+      (cfg_.total_cores != 16 || cfg_.total_banks != 32)) {
+    throw std::invalid_argument(
+        "packet-switched baselines are hardwired to the 16-core/32-bank "
+        "Table I cluster; scale-out shapes run the MoT fabric only");
+  }
 
   // ---- memory system ----
   // DRAM requesters: one Miss-bus slot per bank + one per core (I-refills).
@@ -95,38 +103,18 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     interconnect_ = std::move(noc);
   }
 
-  interconnect_->set_request_sink(
-      [this](const MemRequest& req, Cycle now) { l2_->deliver(req, now); });
-  interconnect_->set_response_sink([this](const MemResponse& resp, Cycle now) {
-    assert(cores_[resp.core] != nullptr);
-    if (resp.kind == RespKind::kInvalidate) {
-      // Fault injection: a dropped invalidation never reaches the L1 snoop
-      // controller, so its ack never returns — the directory transaction
-      // wedges (this is the watchdog's directed-test stimulus).
-      if (drop_invalidates_remaining_ > 0) {
-        --drop_invalidates_remaining_;
-        return;
-      }
-      // Directory control traffic, not a request's answer: no latency
-      // sample, and legal in any core state.
-      cores_[resp.core]->on_coherence_invalidate(resp, now);
-      return;
-    }
-    const Cycle lat = now - resp.issue_cycle;
-    l2_latency_.add(lat);
-    if (resp.l2_hit) l2_hit_latency_.add(lat);
-    cores_[resp.core]->on_response(resp, now);
-  });
-  l2_->set_response_injector([this](const MemResponse& resp, Cycle now) {
-    return interconnect_->try_inject_response(resp, now);
-  });
+  // No sinks are registered: the interconnect batches its deliveries and
+  // the scheduler drains them right after its tick (responses first, then
+  // requests — see drain_fabric_deliveries()).  The L2 injects responses
+  // straight into the transport, no std::function hop.
+  l2_->set_transport(interconnect_.get());
 
   // ---- workload & cores ----
   workload_ = std::make_unique<workload::Workload>(
       cfg_.app, cfg_.power_state.active_cores(), cfg_.scale, cfg_.seed);
   barriers_.set_participants(cfg_.power_state.active_cores());
 
-  cores_.resize(cfg_.total_cores);
+  cores_.resize(cfg_.total_cores, nullptr);
   traces_.resize(cfg_.total_cores);
   auto ifetch_issue = [this](CoreId c, Addr addr, Cycle now) {
     // Instruction refills ride the Miss bus straight to DRAM (paper §II);
@@ -136,11 +124,14 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
                   cores_[c]->on_ifetch_refill(a, done);
                 });
   };
+  // Reserve up front: cores_[] holds raw pointers into the arena, which
+  // must therefore never reallocate.
+  core_arena_.reserve(cfg_.power_state.active_cores());
   for (std::size_t t = 0; t < cfg_.power_state.active_cores(); ++t) {
     const CoreId c = cfg_.power_state.core_of_thread(t);
     traces_[c] = workload_->make_trace(t);
-    cores_[c] = std::make_unique<cpu::Core>(c, cfg_.core, *traces_[c], barriers_,
-                                            ifetch_issue);
+    core_arena_.emplace_back(c, cfg_.core, *traces_[c], barriers_, ifetch_issue);
+    cores_[c] = &core_arena_.back();
     if (cfg_.warm_instruction_caches) {
       cores_[c]->warm_l1i(workload::AddressMap::kCodeBase, cfg_.app.code_bytes);
     }
@@ -193,13 +184,46 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
 
 Cluster::~Cluster() = default;
 
+void Cluster::deliver_response(const MemResponse& resp) {
+  assert(cores_[resp.core] != nullptr);
+  if (resp.kind == RespKind::kInvalidate) {
+    // Fault injection: a dropped invalidation never reaches the L1 snoop
+    // controller, so its ack never returns — the directory transaction
+    // wedges (this is the watchdog's directed-test stimulus).
+    if (drop_invalidates_remaining_ > 0) {
+      --drop_invalidates_remaining_;
+      return;
+    }
+    // Directory control traffic, not a request's answer: no latency
+    // sample, and legal in any core state.
+    cores_[resp.core]->on_coherence_invalidate(resp, now_);
+    return;
+  }
+  const Cycle lat = now_ - resp.issue_cycle;
+  l2_latency_.add(lat);
+  if (resp.l2_hit) l2_hit_latency_.add(lat);
+  cores_[resp.core]->on_response(resp, now_);
+}
+
+void Cluster::drain_fabric_deliveries() {
+  // Responses touch core state; requests touch bank queues and directory
+  // slices — disjoint within a tick, and within each class the batch
+  // preserves delivery order, so this is bit-identical to per-message
+  // dispatch from inside the interconnect's tick.
+  const std::vector<MemResponse>& resps = interconnect_->delivered_responses();
+  const std::vector<MemRequest>& reqs = interconnect_->delivered_requests();
+  if (resps.empty() && reqs.empty()) return;
+  for (const MemResponse& resp : resps) deliver_response(resp);
+  for (const MemRequest& req : reqs) l2_->deliver(req, now_);
+  interconnect_->clear_deliveries();
+}
+
 void Cluster::inject_core_traffic() {
   // Coherence acknowledgements first: they unblock stalled directory
   // transactions and flow even while the cores' clocks are held (the L1
   // snoop controller is not on the gated core clock).
   if (coh_dir_ != nullptr) {
-    for (CoreId c : active_cores_) {
-      cpu::Core& core = *cores_[c];
+    for (cpu::Core& core : core_arena_) {
       while (core.pending_coherence() != nullptr &&
              interconnect_->try_inject_request(*core.pending_coherence(), now_)) {
         core.coherence_accepted(now_);
@@ -207,8 +231,7 @@ void Cluster::inject_core_traffic() {
     }
   }
   if (!cores_frozen_) {
-    for (CoreId c : active_cores_) {
-      cpu::Core& core = *cores_[c];
+    for (cpu::Core& core : core_arena_) {
       if (core.pending_request().has_value() &&
           interconnect_->try_inject_request(*core.pending_request(), now_)) {
         core.injection_accepted(now_);
@@ -222,10 +245,11 @@ void Cluster::tick_once() {
   // also excluded from event-mode skip accounting, so both schedulers see
   // identical (frozen) core statistics.
   if (!cores_frozen_) {
-    for (CoreId c : active_cores_) cores_[c]->tick(now_);
+    for (cpu::Core& core : core_arena_) core.tick(now_);
   }
   inject_core_traffic();
   interconnect_->tick(now_);
+  drain_fabric_deliveries();
   l2_->tick(now_);
   dram_->tick(now_);
   ++now_;
@@ -238,10 +262,13 @@ void Cluster::tick_once() {
 // stimulate later components (core -> interconnect -> L2 -> DRAM).
 void Cluster::tick_once_event() {
   if (!cores_frozen_) {
-    for (CoreId c : active_cores_) cores_[c]->tick(now_);
+    for (cpu::Core& core : core_arena_) core.tick(now_);
   }
   inject_core_traffic();
-  if (interconnect_->next_event(now_) <= now_) interconnect_->tick(now_);
+  if (interconnect_->next_event(now_) <= now_) {
+    interconnect_->tick(now_);
+    drain_fabric_deliveries();
+  }
   if (l2_->next_event(now_) <= now_) l2_->tick(now_);
   if (dram_->next_event(now_) <= now_) dram_->tick(now_);
   ++now_;
@@ -272,15 +299,15 @@ Cycle Cluster::next_event_cycle() const {
     next = std::min(next, watchdog_->next_check_cycle());
   }
   if (!cores_frozen_) {
-    for (CoreId c : active_cores_) {
-      next = std::min(next, cores_[c]->next_event(now_));
+    for (const cpu::Core& core : core_arena_) {
+      next = std::min(next, core.next_event(now_));
       if (next <= now_) return now_;
     }
   } else if (coh_dir_ != nullptr) {
     // Clock-held cores still inject coherence acknowledgements — a queued
     // ack is an every-cycle event even while the instruction stream halts.
-    for (CoreId c : active_cores_) {
-      if (cores_[c]->pending_coherence() != nullptr) return now_;
+    for (const cpu::Core& core : core_arena_) {
+      if (core.pending_coherence() != nullptr) return now_;
     }
   }
   next = std::min(next, interconnect_->next_event(now_));
@@ -298,9 +325,9 @@ void Cluster::step(Cycle cycles) {
 }
 
 bool Cluster::finished() const {
-  for (CoreId c : active_cores_) {
-    if (!cores_[c]->done()) return false;
-    if (cores_[c]->pending_coherence() != nullptr) return false;
+  for (const cpu::Core& core : core_arena_) {
+    if (!core.done()) return false;
+    if (core.pending_coherence() != nullptr) return false;
   }
   return interconnect_->idle() && l2_->idle() && dram_->idle();
 }
@@ -340,7 +367,7 @@ SimResult Cluster::run() {
         }
         const Cycle target = std::min(next, cfg_.max_cycles);
         if (!cores_frozen_) {
-          for (CoreId c : active_cores_) cores_[c]->skip(now_, target);
+          for (cpu::Core& core : core_arena_) core.skip(now_, target);
         }
         now_ = target;
         continue;
@@ -498,8 +525,8 @@ std::uint64_t Cluster::progress_signature() const {
   // Stall/spin/idle cycle counters advance even while wedged and must not
   // contribute, or a wedge would look like progress.
   std::uint64_t sig = 0;
-  for (CoreId c : active_cores_) {
-    const cpu::CoreStats& st = cores_[c]->stats();
+  for (const cpu::Core& core : core_arena_) {
+    const cpu::CoreStats& st = core.stats();
     sig += st.instructions + st.l2_requests;
   }
   const mem::L2Stats& l2s = l2_->stats();
@@ -816,6 +843,11 @@ ClusterConfig make_paper_config(const workload::AppProfile& app, Fabric fabric,
   cfg.app = app;
   cfg.fabric = fabric;
   cfg.power_state = state;
+  // The cluster shape follows the power state's physical shape, so one
+  // factory covers both the Table I cluster (16x32) and the scale-out
+  // configurations (256x512 and beyond).
+  cfg.total_cores = state.total_cores();
+  cfg.total_banks = state.total_banks();
   cfg.dram_preset = dram_preset;
   cfg.scale = scale;
   cfg.seed = seed;

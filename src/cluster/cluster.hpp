@@ -188,6 +188,15 @@ class Cluster {
   void tick_once();
   void tick_once_event();
 
+  /// Hand one fabric-delivered response to its core (or the L1 snoop
+  /// controller for invalidations), recording the latency sample.
+  void deliver_response(const MemResponse& resp);
+
+  /// Drain the interconnect's batched deliveries after its tick():
+  /// responses first, then requests — the in-tick phase order (see the
+  /// equivalence note in common/interconnect.hpp).
+  void drain_fabric_deliveries();
+
   /// Shared per-cycle injection phase of both schedulers: coherence
   /// acknowledgements first (they flow even while cores are clock-held),
   /// then the demand request of each unfrozen core.
@@ -268,7 +277,11 @@ class Cluster {
   cpu::BarrierController barriers_;
   std::unique_ptr<workload::Workload> workload_;
   std::vector<std::unique_ptr<workload::SyntheticTrace>> traces_;
-  std::vector<std::unique_ptr<cpu::Core>> cores_;  ///< null for gated cores
+  /// Active cores live contiguously in thread order (the order every
+  /// per-core loop and FP accumulation uses), so the per-cycle core sweep
+  /// walks a flat arena instead of chasing per-core heap allocations.
+  std::vector<cpu::Core> core_arena_;
+  std::vector<cpu::Core*> cores_;  ///< by CoreId into the arena; null if gated
   std::vector<CoreId> active_cores_;
 
   Cycle now_ = 0;

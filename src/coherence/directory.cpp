@@ -1,21 +1,146 @@
 #include "coherence/directory.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 namespace mot3d::coherence {
+
+namespace {
+
+/// Deterministic 64-bit mix (splitmix64 finaliser) — the probe sequence is
+/// a pure function of the line address, so table layout never depends on
+/// insertion history beyond occupancy.
+std::uint64_t mix_addr(Addr a) {
+  std::uint64_t z = static_cast<std::uint64_t>(a) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::size_t kInitialSlots = 16;
+
+}  // namespace
 
 CoherenceDirectory::CoherenceDirectory(const CoherenceConfig& cfg) : cfg_(cfg) {
   if (!is_pow2(cfg.total_banks) || !is_pow2(cfg.line_bytes)) {
     throw std::invalid_argument("directory geometry must be power of two");
   }
-  if (cfg.total_cores > 32) {
-    throw std::invalid_argument("sharer bitvector holds at most 32 cores");
+  if (cfg.total_cores == 0) {
+    throw std::invalid_argument("directory needs at least one core");
   }
   line_shift_ = log2_exact(cfg.line_bytes);
+  words_ = (cfg.total_cores + 63) / 64;
   slices_.resize(cfg.total_banks);
 }
+
+// ---- slice table plumbing ---------------------------------------------------
+
+std::size_t CoherenceDirectory::find(const Slice& s, Addr line) const {
+  if (s.mask == 0) return kNpos;
+  std::size_t i = mix_addr(line) & s.mask;
+  while (s.slot[i] != kEmpty) {
+    if (s.slot[i] == kOccupied && s.line[i] == line) return i;
+    i = (i + 1) & s.mask;
+  }
+  return kNpos;
+}
+
+void CoherenceDirectory::grow(Slice& s) {
+  const std::size_t new_cap = s.mask == 0 ? kInitialSlots : (s.mask + 1) * 2;
+  Slice next;
+  next.line.resize(new_cap);
+  next.slot.assign(new_cap, kEmpty);
+  next.owned.resize(new_cap);
+  next.owner.resize(new_cap);
+  next.sharers.assign(new_cap * words_, 0);
+  next.mask = new_cap - 1;
+  for (std::size_t i = 0; i <= s.mask && s.mask != 0; ++i) {
+    if (s.slot[i] != kOccupied) continue;
+    std::size_t j = mix_addr(s.line[i]) & next.mask;
+    while (next.slot[j] != kEmpty) j = (j + 1) & next.mask;
+    next.slot[j] = kOccupied;
+    next.line[j] = s.line[i];
+    next.owned[j] = s.owned[i];
+    next.owner[j] = s.owner[i];
+    std::memcpy(next.sharers.data() + j * words_, s.sharers.data() + i * words_,
+                words_ * sizeof(std::uint64_t));
+    ++next.size;
+  }
+  next.used = next.size;
+  s = std::move(next);
+}
+
+std::size_t CoherenceDirectory::find_or_insert(Slice& s, Addr line) {
+  // Grow at 3/4 load including tombstones: probes stay short and a
+  // delete-heavy slice is compacted instead of crawling over tombstones.
+  if (s.mask == 0 || (s.used + 1) * 4 > (s.mask + 1) * 3) grow(s);
+  std::size_t i = mix_addr(line) & s.mask;
+  std::size_t tomb = kNpos;
+  while (s.slot[i] != kEmpty) {
+    if (s.slot[i] == kOccupied && s.line[i] == line) return i;
+    if (s.slot[i] == kTombstone && tomb == kNpos) tomb = i;
+    i = (i + 1) & s.mask;
+  }
+  if (tomb != kNpos) {
+    i = tomb;
+  } else {
+    ++s.used;
+  }
+  s.slot[i] = kOccupied;
+  s.line[i] = line;
+  s.owned[i] = 0;
+  s.owner[i] = 0;
+  clear_sharers(s, i);
+  ++s.size;
+  ++entries_;
+  return i;
+}
+
+void CoherenceDirectory::erase_at(Slice& s, std::size_t idx) {
+  s.slot[idx] = kTombstone;
+  --s.size;
+  --entries_;
+}
+
+void CoherenceDirectory::clear_sharers(Slice& s, std::size_t idx) {
+  std::uint64_t* w = sharer_at(s, idx);
+  for (std::size_t i = 0; i < words_; ++i) w[i] = 0;
+}
+
+bool CoherenceDirectory::any_other_sharer(const Slice& s, std::size_t idx,
+                                          CoreId self) const {
+  const std::uint64_t* w = sharer_at(s, idx);
+  const std::size_t sw = self >> 6;
+  for (std::size_t i = 0; i < words_; ++i) {
+    std::uint64_t word = w[i];
+    if (i == sw) word &= ~(std::uint64_t{1} << (self & 63));
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+void CoherenceDirectory::collect_other_sharers(const Slice& s, std::size_t idx,
+                                               CoreId self,
+                                               std::vector<CoreId>& out) const {
+  // Word-then-ctz iteration yields ascending core ids — the same order the
+  // per-core scan produced, so invalidation timing is unchanged.
+  const std::uint64_t* w = sharer_at(s, idx);
+  const std::size_t sw = self >> 6;
+  for (std::size_t i = 0; i < words_; ++i) {
+    std::uint64_t word = w[i];
+    if (i == sw) word &= ~(std::uint64_t{1} << (self & 63));
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+      out.push_back(static_cast<CoreId>((i << 6) + bit));
+      word &= word - 1;
+    }
+  }
+}
+
+// ---- protocol ---------------------------------------------------------------
 
 void CoherenceDirectory::note_occupancy() {
   stats_.dir_peak_entries = std::max<std::uint64_t>(
@@ -28,47 +153,46 @@ DirOutcome CoherenceDirectory::on_request(const MemRequest& req, BankId bank) {
   DirOutcome out;
   Slice& slice = slices_[bank];
   const Addr line = req.addr;  // line-aligned by the issuing core
-  const std::uint32_t self = 1u << req.core;
 
   if (req.kind == ReqKind::kWriteback) {
     // The dirty line moved from the owner's L1 down into the L2: no L1
     // copy remains, so the entry is dropped.  If another core re-acquired
     // the line while the write-back was in flight (the directory already
     // reassigned ownership), the entry is theirs — leave it alone.
-    auto it = slice.find(line);
-    if (it != slice.end()) {
-      DirEntry& e = it->second;
-      if (e.owned && e.owner == req.core) {
-        slice.erase(it);
-      } else if (!e.owned) {
-        e.sharers &= ~self;  // imprecise-sharer cleanup
+    const std::size_t idx = find(slice, line);
+    if (idx != kNpos) {
+      if (slice.owned[idx] != 0 && slice.owner[idx] == req.core) {
+        erase_at(slice, idx);
+      } else if (slice.owned[idx] == 0) {
+        clear_sharer(slice, idx, req.core);  // imprecise-sharer cleanup
       }
     }
     return out;
   }
 
-  DirEntry& e = slice[line];
+  const std::size_t idx = find_or_insert(slice, line);
   switch (req.kind) {
     case ReqKind::kGetS:
-      if (e.owned) {
-        if (e.owner != req.core) {
+      if (slice.owned[idx] != 0) {
+        if (slice.owner[idx] != req.core) {
           // Forward-invalidate the (possibly dirty) owner: the fresh data
           // lands in the bank with the ack and the reader is granted
           // Shared — from here on the line builds a sharer set and stores
           // must win upgrades.
-          out.invalidate.push_back(e.owner);
+          out.invalidate.push_back(slice.owner[idx]);
           ++stats_.sharing_misses;
           ++stats_.invalidations;
-          e.owned = false;
-          e.owner = 0;
-          e.sharers = self;
+          slice.owned[idx] = 0;
+          slice.owner[idx] = 0;
+          clear_sharers(slice, idx);
+          set_sharer(slice, idx, req.core);
           out.install_shared = true;
           note_occupancy();
           return out;
         }
         // Stale self-ownership (silent clean eviction): re-grant Exclusive.
-      } else if ((e.sharers & ~self) != 0) {
-        e.sharers |= self;
+      } else if (any_other_sharer(slice, idx, req.core)) {
+        set_sharer(slice, idx, req.core);
         out.install_shared = true;
         ++stats_.sharing_misses;
         note_occupancy();
@@ -78,18 +202,14 @@ DirOutcome CoherenceDirectory::on_request(const MemRequest& req, BankId bank) {
       break;
 
     case ReqKind::kUpgrade:
-      if (!e.owned && (e.sharers & self) != 0) {
-        for (CoreId c = 0; c < cfg_.total_cores; ++c) {
-          if (c != req.core && (e.sharers & (1u << c)) != 0) {
-            out.invalidate.push_back(c);
-          }
-        }
+      if (slice.owned[idx] == 0 && test_sharer(slice, idx, req.core)) {
+        collect_other_sharers(slice, idx, req.core, out.invalidate);
         if (!out.invalidate.empty()) ++stats_.sharing_misses;
         out.upgrade_ack = true;
         ++stats_.upgrades;
         break;
       }
-      if (e.owned && e.owner == req.core) {
+      if (slice.owned[idx] != 0 && slice.owner[idx] == req.core) {
         // Stale self-ownership; grant in place.
         out.upgrade_ack = true;
         ++stats_.upgrades;
@@ -100,17 +220,13 @@ DirOutcome CoherenceDirectory::on_request(const MemRequest& req, BankId bank) {
       [[fallthrough]];
 
     case ReqKind::kGetX:
-      if (e.owned) {
-        if (e.owner != req.core) {
-          out.invalidate.push_back(e.owner);
+      if (slice.owned[idx] != 0) {
+        if (slice.owner[idx] != req.core) {
+          out.invalidate.push_back(slice.owner[idx]);
           ++stats_.sharing_misses;
         }
       } else {
-        for (CoreId c = 0; c < cfg_.total_cores; ++c) {
-          if (c != req.core && (e.sharers & (1u << c)) != 0) {
-            out.invalidate.push_back(c);
-          }
-        }
+        collect_other_sharers(slice, idx, req.core, out.invalidate);
         if (!out.invalidate.empty()) ++stats_.sharing_misses;
       }
       break;
@@ -122,9 +238,9 @@ DirOutcome CoherenceDirectory::on_request(const MemRequest& req, BankId bank) {
       return out;
   }
 
-  e.owned = true;
-  e.owner = req.core;
-  e.sharers = 0;
+  slice.owned[idx] = 1;
+  slice.owner[idx] = req.core;
+  clear_sharers(slice, idx);
   stats_.invalidations += out.invalidate.size();
   note_occupancy();
   return out;
@@ -143,22 +259,26 @@ void CoherenceDirectory::on_ack(const MemRequest& ack) {
 void CoherenceDirectory::remap(const std::function<BankId(BankId)>& route) {
   std::vector<Slice> next(slices_.size());
   std::uint64_t moved = 0;
+  entries_ = 0;  // re-counted by the inserts below; the total is unchanged
   for (BankId b = 0; b < slices_.size(); ++b) {
-    for (auto& [line, entry] : slices_[b]) {
+    const Slice& src = slices_[b];
+    if (src.mask == 0) continue;
+    for (std::size_t i = 0; i <= src.mask; ++i) {
+      if (src.slot[i] != kOccupied) continue;
+      const Addr line = src.line[i];
       const BankId dest = route(logical_bank_of(line));
       assert(dest < next.size());
       if (dest != b) ++moved;
-      next[dest].emplace(line, entry);
+      Slice& d = next[dest];
+      const std::size_t j = find_or_insert(d, line);
+      d.owned[j] = src.owned[i];
+      d.owner[j] = src.owner[i];
+      std::memcpy(sharer_at(d, j), sharer_at(src, i),
+                  words_ * sizeof(std::uint64_t));
     }
   }
   slices_ = std::move(next);
   stats_.dir_migrations += moved;
-}
-
-std::size_t CoherenceDirectory::occupancy() const {
-  std::size_t n = 0;
-  for (const Slice& s : slices_) n += s.size();
-  return n;
 }
 
 }  // namespace mot3d::coherence

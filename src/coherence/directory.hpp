@@ -19,6 +19,14 @@
 // directory (silent E->M stores), so both are one kOwned state; the
 // owner's ack tells the bank whether data flowed.
 //
+// Storage is sized to the core count: sharer bitvectors are arrays of
+// 64-bit words ((cores + 63) / 64 of them), so 256- and 1024-core
+// clusters track full-map sharer sets.  Each slice is an open-addressing
+// hash table over line addresses whose entry fields live in parallel
+// arenas (struct-of-arrays: keys, slot states, owner ids, and one flat
+// sharer-word arena) — no per-entry heap nodes, so the slice walk of a
+// heavy-sharing run stays cache-resident.
+//
 // Timing and transport live in mem::L2System (bank occupancy, out-queue
 // delays) and the fabrics (message traversal); this class is the pure
 // protocol state machine, which keeps it unit-testable.
@@ -26,7 +34,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/messages.hpp"
@@ -60,6 +67,7 @@ struct CoherenceStats {
 struct DirOutcome {
   /// Cores whose L1 copy must be invalidated before the request completes.
   /// Empty => the request proceeds immediately (no coherence stall).
+  /// Always in ascending core-id order.
   std::vector<CoreId> invalidate;
   /// Answer with kUpgradeAck (header-only) instead of a kData refill.
   bool upgrade_ack = false;
@@ -87,19 +95,59 @@ class CoherenceDirectory {
   /// Precondition: no transaction in flight (the reconfiguration drain).
   void remap(const std::function<BankId(BankId)>& route);
 
-  std::size_t occupancy() const;             ///< tracked lines, all slices
-  std::size_t slice_entries(BankId b) const { return slices_.at(b).size(); }
+  std::size_t occupancy() const { return entries_; }  ///< tracked lines, all slices
+  std::size_t slice_entries(BankId b) const { return slices_[b].size; }
+  /// 64-bit words per sharer bitvector ((total_cores + 63) / 64).
+  std::size_t sharer_words() const { return words_; }
 
   const CoherenceStats& stats() const { return stats_; }
   const CoherenceConfig& config() const { return cfg_; }
 
  private:
-  struct DirEntry {
-    bool owned = false;         ///< one exclusive owner (MESI E or M)
-    CoreId owner = 0;           ///< valid when owned
-    std::uint32_t sharers = 0;  ///< bitvector over cores, valid when !owned
+  /// One slice: an open-addressing (linear-probe, tombstone-delete) table
+  /// whose entry fields are parallel arrays over the slot index.  The
+  /// sharer bitvectors of all slots live in one flat arena, words_ words
+  /// per slot.
+  struct Slice {
+    std::vector<Addr> line;             ///< key, valid when kOccupied
+    std::vector<std::uint8_t> slot;     ///< kEmpty / kOccupied / kTombstone
+    std::vector<std::uint8_t> owned;    ///< one exclusive owner (MESI E/M)
+    std::vector<CoreId> owner;          ///< valid when owned
+    std::vector<std::uint64_t> sharers; ///< words_ per slot, valid when !owned
+    std::size_t size = 0;               ///< occupied slots
+    std::size_t used = 0;               ///< occupied + tombstone slots
+    std::size_t mask = 0;               ///< capacity - 1 (0 = unallocated)
   };
-  using Slice = std::unordered_map<Addr, DirEntry>;
+  static constexpr std::uint8_t kEmpty = 0, kOccupied = 1, kTombstone = 2;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  std::size_t find(const Slice& s, Addr line) const;
+  /// Existing slot for `line`, or a fresh zeroed entry (grows the table).
+  std::size_t find_or_insert(Slice& s, Addr line);
+  void erase_at(Slice& s, std::size_t idx);
+  void grow(Slice& s);
+
+  std::uint64_t* sharer_at(Slice& s, std::size_t idx) {
+    return s.sharers.data() + idx * words_;
+  }
+  const std::uint64_t* sharer_at(const Slice& s, std::size_t idx) const {
+    return s.sharers.data() + idx * words_;
+  }
+  void clear_sharers(Slice& s, std::size_t idx);
+  bool test_sharer(const Slice& s, std::size_t idx, CoreId c) const {
+    return (sharer_at(s, idx)[c >> 6] >> (c & 63)) & 1u;
+  }
+  void set_sharer(Slice& s, std::size_t idx, CoreId c) {
+    sharer_at(s, idx)[c >> 6] |= std::uint64_t{1} << (c & 63);
+  }
+  void clear_sharer(Slice& s, std::size_t idx, CoreId c) {
+    sharer_at(s, idx)[c >> 6] &= ~(std::uint64_t{1} << (c & 63));
+  }
+  /// Any sharer bit set besides `self`?
+  bool any_other_sharer(const Slice& s, std::size_t idx, CoreId self) const;
+  /// Append every sharer except `self` to `out`, ascending core id.
+  void collect_other_sharers(const Slice& s, std::size_t idx, CoreId self,
+                             std::vector<CoreId>& out) const;
 
   BankId logical_bank_of(Addr line) const {
     return static_cast<BankId>((line >> line_shift_) & (cfg_.total_banks - 1));
@@ -108,7 +156,9 @@ class CoherenceDirectory {
 
   CoherenceConfig cfg_;
   unsigned line_shift_;
+  std::size_t words_;          ///< sharer words per entry
   std::vector<Slice> slices_;  ///< one per physical bank
+  std::size_t entries_ = 0;    ///< occupied slots across all slices
   CoherenceStats stats_;
 };
 

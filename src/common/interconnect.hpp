@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/messages.hpp"
 #include "common/stats.hpp"
@@ -72,11 +73,51 @@ class Interconnect {
   void set_request_sink(RequestSink s) { request_sink_ = std::move(s); }
   void set_response_sink(ResponseSink s) { response_sink_ = std::move(s); }
 
+  /// Batched delivery: when no sink is registered, tick() appends each
+  /// delivery to these vectors instead of dispatching through a
+  /// std::function per message.  The caller drains them after tick() —
+  /// responses first, then requests, matching the in-tick phase order of
+  /// every implementation.  Within one tick the two classes touch disjoint
+  /// simulator state (requests mutate bank queues and directory slices,
+  /// responses mutate core state and latency histograms), and within each
+  /// class the vector preserves delivery order, so draining after tick()
+  /// is bit-identical to in-tick sink dispatch (see DESIGN.md).
+  const std::vector<MemRequest>& delivered_requests() const {
+    return delivered_requests_;
+  }
+  const std::vector<MemResponse>& delivered_responses() const {
+    return delivered_responses_;
+  }
+  void clear_deliveries() {
+    delivered_requests_.clear();
+    delivered_responses_.clear();
+  }
+
   const InterconnectStats& stats() const { return stats_; }
 
  protected:
+  /// Implementations deliver through these: dispatches to the registered
+  /// sink when present (unit tests, custom harnesses), otherwise appends
+  /// to the batch vectors for the cluster to drain.
+  void emit_request(const MemRequest& req, Cycle now) {
+    if (request_sink_) {
+      request_sink_(req, now);
+    } else {
+      delivered_requests_.push_back(req);
+    }
+  }
+  void emit_response(const MemResponse& resp, Cycle now) {
+    if (response_sink_) {
+      response_sink_(resp, now);
+    } else {
+      delivered_responses_.push_back(resp);
+    }
+  }
+
   RequestSink request_sink_;
   ResponseSink response_sink_;
+  std::vector<MemRequest> delivered_requests_;
+  std::vector<MemResponse> delivered_responses_;
   InterconnectStats stats_;
 };
 

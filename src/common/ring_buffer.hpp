@@ -1,0 +1,80 @@
+// Flat growable FIFO used on the simulator hot paths (L2 bank queues, the
+// MoT response pipe, core coherence queues).
+//
+// std::deque allocates page-sized chunks per queue; with hundreds of banks
+// and cores the queue heads scatter across the heap and every tick chases
+// pointers.  This ring keeps the live elements in one contiguous arena
+// (power-of-two capacity, head/tail masks), so draining a queue walks a
+// cache line, and a drained queue frees nothing — capacity is retained for
+// the next burst.  Growth copies into a fresh arena in FIFO order;
+// semantics match the deque usage exactly (push_back / front / pop_front).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mot3d {
+
+template <typename T>
+class RingBuffer {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = T(std::forward<Args>(args)...);
+    ++size_;
+  }
+
+  T& front() {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Element `i` positions behind the front (0 == front).
+  const T& at(std::size_t i) const {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace mot3d

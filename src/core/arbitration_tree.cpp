@@ -1,5 +1,6 @@
 #include "core/arbitration_tree.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace mot3d::core {
@@ -11,6 +12,7 @@ ArbitrationTree::ArbitrationTree(std::size_t total_cores)
   }
   levels_ = log2_exact(total_cores);
   nodes_.resize(total_cores - 1);
+  node_req_.assign(2 * total_cores - 1, 0);
 }
 
 std::size_t ArbitrationTree::configure(const PowerState& state) {
@@ -74,6 +76,51 @@ std::optional<CoreId> ArbitrationTree::arbitrate(const std::vector<bool>& reques
   if (!out.requesting) return std::nullopt;
   commit_path(0, 0, requesting);
   return out.winner;
+}
+
+std::optional<CoreId> ArbitrationTree::arbitrate_sparse(const CoreId* candidates,
+                                                        std::size_t count) {
+  // Phase 1: raise each candidate's request wire and propagate it upward
+  // through powered switches.  A node's flag ends up true exactly when the
+  // recursive descend() would report Outcome.requesting for it: the node is
+  // powered and some candidate leaf reaches it through powered switches.
+  for (std::size_t k = 0; k < count; ++k) {
+    const CoreId c = candidates[k];
+    assert(c < total_cores_);
+    std::size_t idx = total_cores_ - 1 + c;  // virtual leaf heap slot
+    if (node_req_[idx]) continue;
+    node_req_[idx] = 1;
+    marked_.push_back(static_cast<std::uint32_t>(idx));
+    while (idx != 0) {
+      idx = (idx - 1) / 2;
+      if (node_req_[idx]) break;            // path already raised
+      if (!nodes_[idx].powered()) break;    // gated subtree blocks the wire
+      node_req_[idx] = 1;
+      marked_.push_back(static_cast<std::uint32_t>(idx));
+    }
+  }
+
+  std::optional<CoreId> winner;
+  if (node_req_[0]) {
+    // Phase 2: one root-to-leaf descent.  Each peek sees the same child
+    // request flags the full recursive walk computes, so the round-robin
+    // choices — and the committed spine — are identical.
+    std::size_t idx = 0;
+    while (idx < total_cores_ - 1) {
+      const std::size_t l = idx * 2 + 1;
+      const std::size_t r = idx * 2 + 2;
+      const std::optional<unsigned> choice =
+          nodes_[idx].peek(node_req_[l] != 0, node_req_[r] != 0);
+      assert(choice.has_value());
+      nodes_[idx].commit(*choice);
+      idx = (*choice == 0) ? l : r;
+    }
+    winner = static_cast<CoreId>(idx - (total_cores_ - 1));
+  }
+
+  for (const std::uint32_t m : marked_) node_req_[m] = 0;
+  marked_.clear();
+  return winner;
 }
 
 std::size_t ArbitrationTree::powered_switches() const {

@@ -30,6 +30,17 @@ class ArbitrationTree {
   /// round-robin pointers along the granted path only, as the hardware does.
   std::optional<CoreId> arbitrate(const std::vector<bool>& requesting);
 
+  /// Sparse entry point: `candidates` lists the core ids requesting this
+  /// cycle (no duplicates, any order).  Bit-identical to arbitrate() with
+  /// exactly those bits set — request wires propagate bottom-up from the
+  /// candidate leaves through powered switches, then one root-to-leaf
+  /// descent evaluates the same peek decisions the recursive walk would
+  /// and commits along the granted spine.  Cost is O(candidates · levels)
+  /// instead of O(total_cores), which is what makes per-bank arbitration
+  /// affordable at 256-1024 cores.
+  std::optional<CoreId> arbitrate_sparse(const CoreId* candidates,
+                                         std::size_t count);
+
   std::size_t total_cores() const { return total_cores_; }
   unsigned levels() const { return levels_; }
   std::size_t powered_switches() const;
@@ -53,6 +64,12 @@ class ArbitrationTree {
   std::size_t total_cores_;
   unsigned levels_;
   std::vector<ArbitrationSwitch> nodes_;
+  /// arbitrate_sparse scratch: request flag per heap node (internal nodes
+  /// share indices with nodes_; leaves occupy [total_cores_-1, 2n-2]).
+  /// Touched entries are recorded in marked_ and cleared after each call,
+  /// so the per-call cost tracks the candidate count, not the tree size.
+  std::vector<std::uint8_t> node_req_;
+  std::vector<std::uint32_t> marked_;
 };
 
 }  // namespace mot3d::core

@@ -1,6 +1,7 @@
 #include "core/mot_interconnect.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -16,7 +17,8 @@ MotInterconnect::MotInterconnect(const MotTimingModel& timing,
       routing_(initial.total_banks()),
       core_slot_(initial.total_cores()),
       bank_free_at_(initial.total_banks(), 0),
-      requesting_(initial.total_cores(), false),
+      bank_waiters_(initial.total_banks()),
+      pending_banks_((initial.total_banks() + 63) / 64, 0),
       bank_fault_penalty_(initial.total_banks(), 0) {
   bank_arbiters_.reserve(initial.total_banks());
   for (std::size_t b = 0; b < initial.total_banks(); ++b) {
@@ -30,6 +32,38 @@ void MotInterconnect::configure(const PowerState& state) {
   state_timing_ = timing_.timing(state);
   routing_.configure(state);
   for (ArbitrationTree& at : bank_arbiters_) at.configure(state);
+  // Rebuild the waiter index from the slots.  Reconfiguration normally
+  // happens drained (no valid slots); in-flight requests keep the physical
+  // bank they were routed to at injection, exactly as before.
+  for (std::vector<CoreId>& w : bank_waiters_) w.clear();
+  std::fill(pending_banks_.begin(), pending_banks_.end(), 0);
+  valid_slots_ = 0;
+  for (CoreId c = 0; c < core_slot_.size(); ++c) {
+    if (core_slot_[c].valid) add_waiter(c, core_slot_[c].physical_bank);
+  }
+}
+
+void MotInterconnect::add_waiter(CoreId core, BankId bank) {
+  bank_waiters_[bank].push_back(core);
+  pending_banks_[bank >> 6] |= std::uint64_t{1} << (bank & 63);
+  ++valid_slots_;
+}
+
+void MotInterconnect::remove_waiter(CoreId core, BankId bank) {
+  std::vector<CoreId>& w = bank_waiters_[bank];
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w[i] == core) {
+      // Waiter order is immaterial: the arbitration tree alone picks the
+      // winner, and arbitrate_sparse is candidate-order independent.
+      w[i] = w.back();
+      w.pop_back();
+      break;
+    }
+  }
+  if (w.empty()) {
+    pending_banks_[bank >> 6] &= ~(std::uint64_t{1} << (bank & 63));
+  }
+  --valid_slots_;
 }
 
 void MotInterconnect::add_bank_fault_penalty(BankId b, unsigned cycles) {
@@ -53,6 +87,7 @@ bool MotInterconnect::try_inject_request(const MemRequest& req, Cycle now) {
   slot.physical_bank = route(req.bank);
   slot.eligible = now + state_timing_.request_cycles;
   slot.valid = true;
+  add_waiter(req.core, slot.physical_bank);
   ++stats_.requests_injected;
   dynamic_energy_pj_ += timing_.request_energy_pj(state_, req.is_write);
   return true;
@@ -71,38 +106,47 @@ void MotInterconnect::tick(Cycle now) {
   while (!responses_.empty() && responses_.front().due <= now) {
     const PendingResponse& pr = responses_.front();
     ++stats_.responses_delivered;
-    if (response_sink_) response_sink_(pr.resp, now);
+    emit_response(pr.resp, now);
     responses_.pop_front();
   }
 
   // 2. Per-bank arbitration among the requests that have traversed their
   //    routing trees.  One grant per bank per cycle, gated by the circuit
-  //    hold of the previous transaction.
-  for (BankId b = 0; b < bank_arbiters_.size(); ++b) {
-    if (!state_.bank_active(b) || bank_free_at_[b] > now) continue;
-    bool any = false;
-    for (CoreId c = 0; c < core_slot_.size(); ++c) {
-      const InFlight& s = core_slot_[c];
-      const bool wants = s.valid && s.physical_bank == b && s.eligible <= now;
-      requesting_[c] = wants;
-      any = any || wants;
+  //    hold of the previous transaction.  Only banks with waiters are
+  //    visited (ascending bank id, same order as the dense scan); grants at
+  //    one bank cannot create or remove contenders at another within the
+  //    same cycle, since each core holds exactly one slot.
+  for (std::size_t w = 0; w < pending_banks_.size(); ++w) {
+    std::uint64_t word = pending_banks_[w];
+    while (word != 0) {
+      const BankId b = static_cast<BankId>(
+          (w << 6) + static_cast<unsigned>(std::countr_zero(word)));
+      word &= word - 1;
+      if (!state_.bank_active(b) || bank_free_at_[b] > now) continue;
+      candidates_.clear();
+      for (const CoreId c : bank_waiters_[b]) {
+        if (core_slot_[c].eligible <= now) candidates_.push_back(c);
+      }
+      if (candidates_.empty()) continue;
+      const std::optional<CoreId> winner =
+          bank_arbiters_[b].arbitrate_sparse(candidates_.data(),
+                                             candidates_.size());
+      assert(winner.has_value());
+      InFlight& s = core_slot_[*winner];
+      stats_.arbitration_wait_cycles += now - s.eligible;
+      ++stats_.requests_delivered;
+      bank_free_at_[b] = now + cfg_.bank_hold_cycles + bank_fault_penalty_[b];
+      if (bank_fault_penalty_[b] > 0) {
+        // Degraded TSV column: the circuit establishment needs retry pulses.
+        dynamic_energy_pj_ += fault_retry_pj_per_grant_;
+        fault_retry_pj_ += fault_retry_pj_per_grant_;
+      }
+      MemRequest delivered = s.req;
+      delivered.bank = b;  // physical
+      s.valid = false;
+      remove_waiter(*winner, b);
+      emit_request(delivered, now);
     }
-    if (!any) continue;
-    const std::optional<CoreId> winner = bank_arbiters_[b].arbitrate(requesting_);
-    assert(winner.has_value());
-    InFlight& s = core_slot_[*winner];
-    stats_.arbitration_wait_cycles += now - s.eligible;
-    ++stats_.requests_delivered;
-    bank_free_at_[b] = now + cfg_.bank_hold_cycles + bank_fault_penalty_[b];
-    if (bank_fault_penalty_[b] > 0) {
-      // Degraded TSV column: the circuit establishment needs retry pulses.
-      dynamic_energy_pj_ += fault_retry_pj_per_grant_;
-      fault_retry_pj_ += fault_retry_pj_per_grant_;
-    }
-    MemRequest delivered = s.req;
-    delivered.bank = b;  // physical
-    s.valid = false;
-    if (request_sink_) request_sink_(delivered, now);
   }
 }
 
@@ -117,21 +161,27 @@ Cycle MotInterconnect::next_event(Cycle now) const {
   // traversed its routing tree and the target bank's circuit hold must
   // have expired.  Losing arbitration can only delay a grant to a later
   // cycle that this bound re-derives after the winning grant is ticked.
-  for (const InFlight& s : core_slot_) {
-    if (!s.valid) continue;
-    const Cycle c = std::max({s.eligible, bank_free_at_[s.physical_bank], now});
-    next = std::min(next, c);
-    if (next <= now) return now;
+  // Every valid slot sits in exactly one bank's waiter list, so walking
+  // the pending banks visits the same set the dense slot scan did.
+  for (std::size_t w = 0; w < pending_banks_.size(); ++w) {
+    std::uint64_t word = pending_banks_[w];
+    while (word != 0) {
+      const BankId b = static_cast<BankId>(
+          (w << 6) + static_cast<unsigned>(std::countr_zero(word)));
+      word &= word - 1;
+      const Cycle free_at = bank_free_at_[b];
+      for (const CoreId c : bank_waiters_[b]) {
+        const Cycle cand = std::max({core_slot_[c].eligible, free_at, now});
+        next = std::min(next, cand);
+        if (next <= now) return now;
+      }
+    }
   }
   return next;
 }
 
 bool MotInterconnect::idle() const {
-  if (!responses_.empty()) return false;
-  for (const InFlight& s : core_slot_) {
-    if (s.valid) return false;
-  }
-  return true;
+  return responses_.empty() && valid_slots_ == 0;
 }
 
 }  // namespace mot3d::core

@@ -19,11 +19,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "common/interconnect.hpp"
+#include "common/ring_buffer.hpp"
 #include "core/arbitration_tree.hpp"
 #include "core/mot_timing.hpp"
 #include "core/power_state.hpp"
@@ -93,13 +93,23 @@ class MotInterconnect final : public Interconnect {
   PowerState state_;
   MotStateTiming state_timing_;
 
+  void add_waiter(CoreId core, BankId bank);
+  void remove_waiter(CoreId core, BankId bank);
+
   RoutingTree routing_;                    ///< shared resolver (per-core trees
                                            ///< are identically configured)
   std::vector<ArbitrationTree> bank_arbiters_;  ///< one per physical bank
   std::vector<InFlight> core_slot_;        ///< one outstanding per core
   std::vector<Cycle> bank_free_at_;        ///< circuit hold per bank
-  std::deque<PendingResponse> responses_;  ///< constant-delay return path
-  std::vector<bool> requesting_;           ///< tick() scratch (hot path)
+  RingBuffer<PendingResponse> responses_;  ///< constant-delay return path
+  /// Valid slots grouped by target physical bank, plus a bitset of banks
+  /// with any waiter.  tick()/next_event() walk only the pending banks and
+  /// their waiters instead of the full banks x cores cross product — the
+  /// scan that dominated 256-core heavy-sharing runs.
+  std::vector<std::vector<CoreId>> bank_waiters_;
+  std::vector<std::uint64_t> pending_banks_;
+  std::vector<CoreId> candidates_;         ///< tick() scratch (eligible waiters)
+  std::size_t valid_slots_ = 0;
   std::vector<unsigned> bank_fault_penalty_;  ///< extra hold per physical bank
   double dynamic_energy_pj_ = 0.0;
   double fault_retry_pj_ = 0.0;

@@ -9,8 +9,8 @@ Core::Core(CoreId id, const CoreConfig& cfg, TraceSource& trace,
     : id_(id),
       cfg_(cfg),
       line_shift_(log2_exact(cfg.l1d.line_bytes)),
-      trace_(trace),
-      barriers_(barriers),
+      trace_(&trace),
+      barriers_(&barriers),
       ifetch_issue_(std::move(ifetch_issue)),
       l1i_(cfg.l1i),
       l1d_(cfg.l1d) {
@@ -33,7 +33,7 @@ void Core::tick(Cycle now) {
       ++stats_.stall_cycles;
       return;
     case State::kAtBarrier:
-      if (barriers_.released(barrier_id_)) {
+      if (barriers_->released(barrier_id_)) {
         state_ = State::kFetch;
         process_next_record(now);
       } else {
@@ -57,7 +57,7 @@ Cycle Core::next_event(Cycle now) const {
     case State::kCompute:
       return now + compute_remaining_;
     case State::kAtBarrier:
-      return barriers_.released(barrier_id_) ? now : kNeverCycle;
+      return barriers_->released(barrier_id_) ? now : kNeverCycle;
     case State::kWaitMem:
     case State::kWaitIFetch:
     case State::kDone:
@@ -78,7 +78,7 @@ void Core::skip(Cycle from, Cycle to) {
       stats_.stall_cycles += delta;
       return;
     case State::kAtBarrier:
-      assert(!barriers_.released(barrier_id_));
+      assert(!barriers_->released(barrier_id_));
       stats_.spin_cycles += delta;
       return;
     case State::kCompute:
@@ -112,7 +112,7 @@ void Core::process_next_record(Cycle now) {
   // Instruction-cache hits are overlapped with execution (zero cost), so we
   // may chain through a bounded number of them within one cycle.
   for (unsigned chained = 0; chained <= cfg_.max_zero_cost_records; ++chained) {
-    const TraceRecord r = trace_.next();
+    const TraceRecord r = trace_->next();
     switch (r.kind) {
       case TraceKind::kEnd:
         state_ = State::kDone;
@@ -121,7 +121,7 @@ void Core::process_next_record(Cycle now) {
         return;
 
       case TraceKind::kBarrier:
-        barriers_.arrive(r.barrier_id);
+        barriers_->arrive(r.barrier_id);
         barrier_id_ = r.barrier_id;
         state_ = State::kAtBarrier;
         ++stats_.busy_cycles;  // executing the barrier arrival

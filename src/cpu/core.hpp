@@ -10,11 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 
 #include "common/messages.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "cpu/barrier.hpp"
 #include "cpu/trace.hpp"
@@ -147,8 +147,10 @@ class Core {
   CoreId id_;
   CoreConfig cfg_;
   unsigned line_shift_;
-  TraceSource& trace_;
-  BarrierController& barriers_;
+  // Pointers (never null) rather than references so Core is movable and
+  // the cluster can keep its cores in one contiguous arena.
+  TraceSource* trace_;
+  BarrierController* barriers_;
   IFetchIssue ifetch_issue_;
 
   mem::Cache l1i_;
@@ -158,7 +160,7 @@ class Core {
   std::uint32_t compute_remaining_ = 0;
   std::uint32_t barrier_id_ = 0;
   std::optional<MemRequest> pending_;  ///< waiting for injection
-  std::deque<MemRequest> coh_queue_;   ///< invalidation acks awaiting a slot
+  RingBuffer<MemRequest> coh_queue_;   ///< invalidation acks awaiting a slot
   bool refill_is_store_ = false;       ///< write-allocate: dirty on insert
   bool refill_invalidated_ = false;    ///< in-flight line invalidated: demote
                                        ///< the install to Shared

@@ -15,16 +15,20 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "coherence/directory.hpp"
 #include "common/messages.hpp"
+#include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
+
+namespace mot3d {
+class Interconnect;
+}
 
 namespace mot3d::mem {
 
@@ -68,6 +72,12 @@ class L2System {
   void set_response_injector(ResponseInjector injector) {
     injector_ = std::move(injector);
   }
+
+  /// Hot-path alternative to set_response_injector: responses go straight
+  /// to `t->try_inject_response()` with no std::function indirection.  A
+  /// registered injector (unit tests, custom back-pressure harnesses)
+  /// takes precedence.
+  void set_transport(Interconnect* t) { transport_ = t; }
 
   /// Engage directory-based coherence: each bank consults its co-located
   /// directory slice before serving a request, and requests that hit
@@ -154,8 +164,8 @@ class L2System {
   struct Bank {
     explicit Bank(const CacheConfig& cc) : cache(cc) {}
     Cache cache;
-    std::deque<PendingAccess> in_queue;
-    std::deque<ReadyResponse> out_queue;
+    RingBuffer<PendingAccess> in_queue;
+    RingBuffer<ReadyResponse> out_queue;
     std::optional<CohPending> coh_pending;
     Cycle busy_until = 0;
     std::size_t misses_in_flight = 0;
@@ -176,12 +186,27 @@ class L2System {
                       bool upgrade_ack, bool install_shared,
                       bool forwarded_dirty);
 
+  /// A bank is *live* when tick() or next_event() has anything to look at:
+  /// a non-empty out-queue, a runnable (all acks in) coherence stall, or a
+  /// queued access with no coherence stall ahead of it.  deliver(), the
+  /// final-ack path and respond() raise the bit; tick() clears it once the
+  /// bank drains.  tick()/next_event()/idle() walk only the live bits, so
+  /// an idle 512-bank stack costs eight words per cycle instead of a full
+  /// bank sweep — the other half of the 256-core hot-path cost.
+  void mark_live(BankId b) {
+    live_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  }
+
   L2Config cfg_;
   DramBackend& dram_;
   std::uint32_t dram_base_;
   std::vector<Bank> banks_;
   std::vector<bool> active_;
+  std::vector<std::uint64_t> live_;
+  std::size_t misses_total_ = 0;   ///< sum of banks' misses_in_flight
+  std::size_t coh_stalls_ = 0;     ///< banks with a parked CohPending
   ResponseInjector injector_;
+  Interconnect* transport_ = nullptr;
   coherence::CoherenceDirectory* dir_ = nullptr;
   L2Stats stats_;
 };

@@ -30,10 +30,10 @@ NocInterconnect::NocInterconnect(NocTopology topology, const NocConfig& cfg,
   net_.set_delivery([this](const Packet& p, Cycle now) {
     if (p.kind == PacketKind::kRequest) {
       ++stats_.requests_delivered;
-      if (request_sink_) request_sink_(p.req, now);
+      emit_request(p.req, now);
     } else {
       ++stats_.responses_delivered;
-      if (response_sink_) response_sink_(p.resp, now);
+      emit_response(p.resp, now);
     }
   });
 }

@@ -441,8 +441,16 @@ core::PowerState power_state_by_name(const std::string& name) {
       static_cast<std::size_t>(consumed) == name.size()) {
     return core::PowerState(name, 16, cores, 32, banks);
   }
-  throw std::invalid_argument("unknown power state '" + name +
-                              "' (want Full or PC<cores>-MB<banks>)");
+  // Scale-out shapes: "Full<cores>x<banks>" is a fully powered cluster of
+  // that physical shape (e.g. Full256x512) — the bench_scale grid and the
+  // scale_smoke scenario run these on the MoT fabric.
+  if (std::sscanf(name.c_str(), "Full%zux%zu%n", &cores, &banks, &consumed) == 2 &&
+      static_cast<std::size_t>(consumed) == name.size()) {
+    return core::PowerState(name, cores, cores, banks, banks);
+  }
+  throw std::invalid_argument(
+      "unknown power state '" + name +
+      "' (want Full, PC<cores>-MB<banks>, or Full<cores>x<banks>)");
 }
 
 mem::DramPreset dram_preset_by_key(const std::string& key) {

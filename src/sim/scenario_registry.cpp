@@ -624,6 +624,27 @@ ScenarioSpec fault_spec() {
   return s;
 }
 
+ScenarioSpec scale_smoke_spec() {
+  ScenarioSpec s;
+  s.name = "scale_smoke";
+  s.figure = "-";
+  s.description =
+      "256-core scale-out smoke: heavy-sharing patterns on the MoT, golden-pinned";
+  // The hot-path data layout (arena-backed directory slices, multi-word
+  // sharer bitvectors, batched fabric delivery, sparse arbitration) must
+  // stay bit-identical at shapes past the 64-core sharer-word boundary.
+  // A reduced-scale 256-core x 512-bank sweep over the two heaviest
+  // sharing patterns pins that behaviour: the golden suite runs it under
+  // both schedulers and diffs the serialised metrics byte-for-byte.
+  s.apps = {"all_to_all", "producer_consumer"};
+  s.fabrics = {cluster::Fabric::kMot};
+  s.power_states = {power_state_by_name("Full256x512")};
+  s.dram_presets = {mem::DramPreset::kDdr3_200ns};
+  s.default_scale = 0.1;
+  s.golden_scale = 0.02;
+  return s;
+}
+
 ScenarioSpec custom_spec(std::string name, std::string description,
                          int (*body)(const ScenarioSpec&, const ScenarioOptions&,
                                      std::ostream&),
@@ -675,6 +696,7 @@ std::vector<ScenarioSpec> build_registry() {
   r.push_back(thermal_spec());
   r.push_back(coherence_spec());
   r.push_back(fault_spec());
+  r.push_back(scale_smoke_spec());
   r.push_back(custom_spec("ablation_wire",
                           "repeater insertion vs Elmore wire delay",
                           run_ablation_wire, 0.5));

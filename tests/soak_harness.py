@@ -9,18 +9,28 @@ subprocess runs under a hard wall timeout so a simulator deadlock fails
 this harness loudly rather than hanging the pipeline.
 
 Usage:
-    python3 tests/soak_harness.py [--binary PATH] [--full]
+    python3 tests/soak_harness.py [--binary PATH] [--full] [--bench]
 
   --binary   path to mot3d_experiments (default: ./mot3d_experiments,
              i.e. run from the build directory)
   --full     also re-verify every golden baseline (slower; the smoke
              subset is sized for per-commit CI)
+  --bench    also exercise the bench_scale perf-guardrail contract:
+             JSON report shape and every baseline-comparison exit code
+             (0 ok / 1 regression / 2 usage / 3 bad baseline), using
+             self-generated and doctored baselines so the checks are
+             machine-independent
+  --bench-binary
+             path to bench_scale (default: ./bench_scale)
 """
 
 import argparse
+import json
+import os
 import re
 import subprocess
 import sys
+import tempfile
 
 TIMEOUT = 300  # seconds per subprocess: generous, but deadlocks must die
 
@@ -127,16 +137,152 @@ def full_tests(binary):
     ]
 
 
+REQUIRED_REPORT_KEYS = ("bench", "scheduler", "scale", "seed", "cells",
+                        "total_wall_seconds", "total_simulated_cycles",
+                        "cycles_per_second")
+REQUIRED_CELL_KEYS = ("app", "cores", "banks", "state", "cycles",
+                      "instructions", "wall_seconds", "cycles_per_second")
+
+# A deliberately tiny grid: the soak harness checks the *contract* of
+# bench_scale (report shape, exit codes), not its throughput numbers.
+BENCH_GRID = ["--cores=16,64", "--patterns=all_to_all", "--scale=0.005"]
+
+
+def check_report_shape(name, path):
+    """Grade the --json report: parseable, required keys, full grid."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return TestResult(name, False, f"unreadable report: {e}")
+    for key in REQUIRED_REPORT_KEYS:
+        if key not in doc:
+            return TestResult(name, False, f"report missing key '{key}'")
+    cells = doc["cells"]
+    if not isinstance(cells, list) or len(cells) != 2:
+        return TestResult(name, False,
+                          f"expected 2 cells for {BENCH_GRID}, got {cells!r}")
+    for cell in cells:
+        for key in REQUIRED_CELL_KEYS:
+            if key not in cell:
+                return TestResult(name, False, f"cell missing key '{key}'")
+        if cell["cycles"] <= 0:
+            return TestResult(name, False, f"non-positive cycles in {cell!r}")
+    return TestResult(name, True, "report shape ok")
+
+
+def bench_tests(bench_binary):
+    """bench_scale contract checks, all against doctored local baselines."""
+    results = []
+    with tempfile.TemporaryDirectory(prefix="mot3d_bench_soak.") as tmp:
+        report = os.path.join(tmp, "report.json")
+        baseline = os.path.join(tmp, "baseline.json")
+
+        # Report shape + baseline generation in one invocation.
+        results.append(run_test(
+            bench_binary, "bench_scale emits a report and a baseline",
+            BENCH_GRID + [f"--json={report}", f"--baseline={baseline}",
+                          "--update-baseline"],
+            expect_patterns=[r"baseline updated"]))
+        if results[-1].success:
+            results.append(check_report_shape(
+                "bench_scale JSON report shape", report))
+
+        # Exit 0: a fresh run against its own baseline is within tolerance
+        # (modeled metrics are deterministic; throughput compares to itself).
+        results.append(run_test(
+            bench_binary, "bench_scale baseline comparison passes (exit 0)",
+            BENCH_GRID + [f"--baseline={baseline}"],
+            expect_patterns=[r"baseline OK"]))
+
+        # Exit 1: a doctored baseline claiming 1e12 cycles/s makes every
+        # real machine look like a throughput regression.
+        fast = os.path.join(tmp, "impossibly_fast.json")
+        try:
+            with open(baseline, encoding="utf-8") as f:
+                doc = json.load(f)
+            for cell in doc["cells"]:
+                cell["cycles_per_second"] = 1.0e12
+            with open(fast, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+        except (OSError, ValueError, KeyError) as e:
+            results.append(TestResult("doctor throughput baseline", False,
+                                      str(e)))
+        else:
+            results.append(run_test(
+                bench_binary, "throughput regression exits 1",
+                BENCH_GRID + [f"--baseline={fast}"],
+                expect_exit=1,
+                expect_patterns=[r"REGRESSION .*throughput"]))
+
+        # Exit 1: doctored modeled cycles = simulator behaviour drift.
+        drift = os.path.join(tmp, "drifted.json")
+        try:
+            with open(baseline, encoding="utf-8") as f:
+                doc = json.load(f)
+            doc["cells"][0]["cycles"] += 1
+            with open(drift, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+        except (OSError, ValueError, KeyError, IndexError) as e:
+            results.append(TestResult("doctor modeled baseline", False, str(e)))
+        else:
+            results.append(run_test(
+                bench_binary, "modeled drift exits 1",
+                BENCH_GRID + [f"--baseline={drift}"],
+                expect_exit=1,
+                expect_patterns=[r"REGRESSION .*modeled drift"]))
+
+        # Exit 3: missing and malformed baselines.
+        results.append(run_test(
+            bench_binary, "missing baseline exits 3",
+            BENCH_GRID + [f"--baseline={os.path.join(tmp, 'nope.json')}"],
+            expect_exit=3,
+            expect_patterns=[r"baseline error"]))
+        broken = os.path.join(tmp, "broken.json")
+        with open(broken, "w", encoding="utf-8") as f:
+            f.write('{"bench": truncated')
+        results.append(run_test(
+            bench_binary, "malformed baseline exits 3",
+            BENCH_GRID + [f"--baseline={broken}"],
+            expect_exit=3,
+            expect_patterns=[r"baseline error"]))
+
+        # Exit 3: a baseline recorded with different knobs is unusable.
+        results.append(run_test(
+            bench_binary, "knob-mismatched baseline exits 3",
+            BENCH_GRID + [f"--baseline={baseline}", "--scheduler=dense"],
+            expect_exit=3,
+            expect_patterns=[r"baseline error: baseline was recorded with"]))
+
+        # Exit 2: usage errors.
+        results.append(run_test(
+            bench_binary, "unknown flag exits 2",
+            ["--no-such-flag"],
+            expect_exit=2,
+            expect_patterns=[r"error: unknown option"]))
+        results.append(run_test(
+            bench_binary, "malformed tolerance exits 2",
+            BENCH_GRID + ["--tolerance=2.0"],
+            expect_exit=2,
+            expect_patterns=[r"--tolerance must be in"]))
+    return results
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", default="./mot3d_experiments")
     parser.add_argument("--full", action="store_true",
                         help="also re-verify every golden baseline")
+    parser.add_argument("--bench", action="store_true",
+                        help="also exercise the bench_scale guardrail contract")
+    parser.add_argument("--bench-binary", default="./bench_scale")
     opts = parser.parse_args()
 
     results = smoke_tests(opts.binary)
     if opts.full:
         results += full_tests(opts.binary)
+    if opts.bench:
+        results += bench_tests(opts.bench_binary)
 
     print("\n==== soak harness summary ====")
     failures = 0
