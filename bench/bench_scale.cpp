@@ -374,6 +374,9 @@ struct Cell {
   std::uint64_t instructions = 0;  ///< modeled; exact-match against baseline
   double wall_seconds = 0.0;
   double cycles_per_second = 0.0;
+  /// Host-side wall seconds attributed per simulator phase (sampled, see
+  /// obs::PhaseTimer).  Telemetry only: never compared against a baseline.
+  mot3d::obs::PhaseSeconds phases;
   std::string error;  ///< non-empty if the simulation failed
 };
 
@@ -412,6 +415,7 @@ Cell run_cell(const Options& opt, const std::string& app, std::size_t cores) {
   sopt.threads = 1;  // one run per cell: thread pool would only add noise
   sopt.scheduler = opt.scheduler;
   sopt.timeout_seconds = opt.timeout_seconds;
+  sopt.phase_timing = true;  // host-side clock reads; modeled metrics untouched
 
   try {
     const mot3d::sim::ScenarioOutcome outcome =
@@ -428,6 +432,7 @@ Cell run_cell(const Options& opt, const std::string& app, std::size_t cores) {
     cell.instructions = outcome.results[0].instructions;
     cell.wall_seconds = outcome.telemetry.wall_seconds;
     cell.cycles_per_second = outcome.telemetry.cycles_per_second();
+    cell.phases = outcome.results[0].phase_seconds;
   } catch (const std::exception& e) {
     cell.error = e.what();
   }
@@ -444,6 +449,17 @@ JsonObject cell_to_json(const Cell& c) {
       .set("instructions", c.instructions)
       .set("wall_seconds", c.wall_seconds)
       .set("cycles_per_second", c.cycles_per_second);
+  // Telemetry-only extension: compare_against_baseline reads known keys
+  // only, so old baselines stay compatible.
+  if (c.phases.valid) {
+    JsonObject p;
+    p.set("workload", c.phases.workload)
+        .set("coherence", c.phases.coherence)
+        .set("fabric", c.phases.fabric)
+        .set("l2", c.phases.l2)
+        .set("dram", c.phases.dram);
+    o.set_raw("phase_seconds", p.str());
+  }
   return o;
 }
 

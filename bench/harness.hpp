@@ -17,6 +17,11 @@
 //   --timeout=<seconds> per-run wall-clock budget (0 = none); a run over
 //                       budget dies with a watchdog error recorded against
 //                       that run, and the binary exits non-zero
+//   --trace=<path>      write a Chrome-trace-event JSON of every run (one
+//                       process per run, one track per core / L2 bank /
+//                       fabric / governor; open in Perfetto)
+//   --metrics=<path>    write the interval-metrics time series (JSON, or
+//                       long-format CSV when the path ends in .csv)
 // Unknown flags are rejected with an error — a typo like --sacle=0.5 must
 // never silently fall back to the default.
 //
@@ -44,12 +49,14 @@ struct Options {
   std::string json_path;
   cluster::SchedulerMode scheduler = cluster::SchedulerMode::kEventDriven;
   double timeout_seconds = 0.0;  ///< per-run watchdog wall budget (0 = none)
+  std::string trace_path;        ///< Chrome-trace destination ("" = off)
+  std::string metrics_path;      ///< interval-metrics destination ("" = off)
 };
 
 inline void print_usage(std::ostream& os) {
   os << "usage: bench [--scale=<double>] [--seed=<u64>] [--threads=<n>]\n"
      << "             [--json=<path>] [--scheduler=event|dense]\n"
-     << "             [--timeout=<seconds>]\n";
+     << "             [--timeout=<seconds>] [--trace=<path>] [--metrics=<path>]\n";
 }
 
 [[noreturn]] inline void usage_error(const std::string& msg) {
@@ -97,6 +104,12 @@ inline Options parse_options(int argc, char** argv, double default_scale = 0.5) 
       } else if (arg.rfind("--json=", 0) == 0) {
         opt.json_path = arg.substr(7);
         if (opt.json_path.empty()) usage_error("--json= needs a path");
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        opt.trace_path = arg.substr(8);
+        if (opt.trace_path.empty()) usage_error("--trace= needs a path");
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        opt.metrics_path = arg.substr(10);
+        if (opt.metrics_path.empty()) usage_error("--metrics= needs a path");
       } else if (arg.rfind("--timeout=", 0) == 0) {
         opt.timeout_seconds = parse_double_value(arg, arg.substr(10));
         if (!std::isfinite(opt.timeout_seconds) || opt.timeout_seconds < 0.0) {
@@ -149,6 +162,8 @@ inline sim::ScenarioOptions to_scenario_options(const Options& opt) {
   sopt.scheduler = opt.scheduler;
   sopt.json_path = opt.json_path;
   sopt.timeout_seconds = opt.timeout_seconds;
+  sopt.trace_path = opt.trace_path;
+  sopt.metrics_path = opt.metrics_path;
   return sopt;
 }
 

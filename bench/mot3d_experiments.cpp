@@ -2,14 +2,19 @@
 //
 //   mot3d_experiments list                      # every registered scenario
 //   mot3d_experiments run <name>... [flags]     # run registered scenarios
+//   mot3d_experiments trace <name> [flags]      # run with tracing+metrics on
 //   mot3d_experiments grid --apps=... [flags]   # ad-hoc declarative grid
 //   mot3d_experiments update-golden [name...]   # regenerate golden baselines
 //   mot3d_experiments check-golden [name...]    # compare against baselines
 //
 // `run` takes the same flags as the bench binaries (--scale/--seed/
-// --threads/--json/--scheduler) plus --golden to force a scenario's
-// pinned golden options (golden_scale + registry seed) — handy to
-// eyeball exactly what the regression suite compares.
+// --threads/--json/--scheduler/--trace/--metrics) plus --golden to force a
+// scenario's pinned golden options (golden_scale + registry seed) — handy
+// to eyeball exactly what the regression suite compares.
+//
+// `trace` is `run` for one scenario with observability on by default:
+// --trace/--metrics fall back to <name>.trace.json / <name>.metrics.json.
+// Open the trace in Perfetto (ui.perfetto.dev) or chrome://tracing.
 //
 // `grid` builds a one-off ScenarioSpec from comma-separated axis lists:
 //   --apps=fft,fmm            (default: all eight SPLASH-2 programs)
@@ -45,11 +50,13 @@ void print_cli_usage(std::ostream& os) {
      << "  list | --list               list registered scenarios\n"
      << "  describe <name>...          print a scenario's axes and run count\n"
      << "  run <name>... [flags]       run registered scenarios by name\n"
+     << "  trace <name> [flags]        run one scenario with tracing+metrics on\n"
      << "  grid [axes] [flags]         run an ad-hoc grid\n"
      << "  update-golden [name...]     regenerate golden baselines\n"
      << "  check-golden [name...]      re-run and diff against baselines\n"
      << "flags: --scale=<d> --seed=<u64> --threads=<n> --json=<path>\n"
      << "       --scheduler=event|dense --timeout=<seconds> --golden\n"
+     << "       --trace=<path> --metrics=<path>\n"
      << "grid axes: --apps=a,b --fabrics=mot,mesh3d,busmesh,bustree\n"
      << "           --states=Full,PC4-MB8,... --dram=200,63,42\n"
      << "update-golden/check-golden: --dir=<path> (default: " MOT3D_SOURCE_DIR
@@ -227,14 +234,17 @@ int cmd_run(const CliArgs& cli) {
     std::cerr << "error: run needs at least one scenario name (see list)\n";
     return 2;
   }
-  // One --json path cannot hold several scenarios' reports; refuse rather
+  // One output path cannot hold several scenarios' files; refuse rather
   // than silently keep only the last one written.
   if (cli.names.size() > 1) {
     for (const std::string& arg : cli.bench_args) {
-      if (arg.rfind("--json=", 0) == 0) {
-        std::cerr << "error: --json with multiple scenarios would overwrite "
-                     "the same file; run them one at a time\n";
-        return 2;
+      for (const char* flag : {"--json=", "--trace=", "--metrics="}) {
+        if (arg.rfind(flag, 0) == 0) {
+          std::cerr << "error: " << arg.substr(0, arg.find('='))
+                    << " with multiple scenarios would overwrite the same "
+                       "file; run them one at a time\n";
+          return 2;
+        }
       }
     }
   }
@@ -252,16 +262,62 @@ int cmd_run(const CliArgs& cli) {
     sim::ScenarioOptions opt =
         bench::to_scenario_options(parse_bench_flags(cli, spec->default_scale));
     if (cli.use_golden_options) {
+      // Golden options pin the modeled inputs (scale, seed); output paths
+      // and the scheduler are observer-side and survive the override.
       const std::string json = opt.json_path;
+      const std::string trace = opt.trace_path;
+      const std::string metrics = opt.metrics_path;
       const auto scheduler = opt.scheduler;
       opt = sim::golden_options(*spec);
       opt.json_path = json;
+      opt.trace_path = trace;
+      opt.metrics_path = metrics;
       opt.scheduler = scheduler;
     }
     const int rc = sim::run_and_present(*spec, opt, std::cout);
     if (rc != 0) return rc;
   }
   return 0;
+}
+
+/// `trace <name>` — `run` for one scenario with observability on by
+/// default: --trace/--metrics fall back to <name>.trace.json /
+/// <name>.metrics.json next to the current directory.
+int cmd_trace(const CliArgs& cli) {
+  if (cli.names.size() != 1) {
+    std::cerr << "error: trace takes exactly one scenario name (see list)\n";
+    return 2;
+  }
+  const std::string& name = cli.names.front();
+  const sim::ScenarioSpec* spec = sim::find_scenario(name);
+  if (spec == nullptr) {
+    std::cerr << "error: scenario '" << name << "' is not registered\n";
+    list_registered_names(std::cerr);
+    return 2;
+  }
+  if (spec->kind != sim::ScenarioSpec::Kind::kSweep) {
+    std::cerr << "error: trace needs a sweep scenario ('" << name << "' is "
+              << (spec->kind == sim::ScenarioSpec::Kind::kTiming ? "analytic"
+                                                                 : "custom")
+              << ", nothing to trace)\n";
+    return 2;
+  }
+  sim::ScenarioOptions opt =
+      bench::to_scenario_options(parse_bench_flags(cli, spec->default_scale));
+  if (cli.use_golden_options) {
+    const std::string json = opt.json_path;
+    const std::string trace = opt.trace_path;
+    const std::string metrics = opt.metrics_path;
+    const auto scheduler = opt.scheduler;
+    opt = sim::golden_options(*spec);
+    opt.json_path = json;
+    opt.trace_path = trace;
+    opt.metrics_path = metrics;
+    opt.scheduler = scheduler;
+  }
+  if (opt.trace_path.empty()) opt.trace_path = name + ".trace.json";
+  if (opt.metrics_path.empty()) opt.metrics_path = name + ".metrics.json";
+  return sim::run_and_present(*spec, opt, std::cout);
 }
 
 int cmd_grid(const CliArgs& cli) {
@@ -431,6 +487,9 @@ int main(int argc, char** argv) {
       return cmd_describe(cli.names);
     }
     if (cmd == "run") return cmd_run(parse_cli(argc, argv, 2, {.golden = true}));
+    if (cmd == "trace") {
+      return cmd_trace(parse_cli(argc, argv, 2, {.golden = true}));
+    }
     if (cmd == "grid") return cmd_grid(parse_cli(argc, argv, 2, {.axes = true}));
     if (cmd == "update-golden") {
       return cmd_update_golden(parse_cli(argc, argv, 2, {.dir = true}));

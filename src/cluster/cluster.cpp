@@ -180,6 +180,69 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.watchdog.enabled || cfg_.fault.enabled) {
     watchdog_ = std::make_unique<fault::Watchdog>(cfg_.watchdog);
   }
+
+  // ---- observability (opt-in; inert otherwise) ----
+  // The trace sink engages for full tracing, an explicit flight recorder,
+  // or implicitly on fault runs with a progress watchdog (bounded ring,
+  // dumped with the parked state).  Timeout-only watchdogs — the perf
+  // guardrail's --timeout — never pay for event recording.
+  const bool flight_only =
+      !cfg_.obs.trace &&
+      (cfg_.obs.flight_recorder || (watchdog_ != nullptr && cfg_.fault.enabled));
+  if (cfg_.obs.trace || flight_only) {
+    trace_ = std::make_shared<obs::TraceBuffer>(
+        flight_only ? cfg_.obs.flight_recorder_events : 0);
+    trk_governor_ = trace_->add_track("governor");
+    trk_fabric_ = trace_->add_track("fabric");
+    trk_fault_ = trace_->add_track("faults");
+    trk_core_base_ = trace_->track_count();
+    for (CoreId c = 0; c < cfg_.total_cores; ++c) {
+      trace_->add_track("core " + std::to_string(c));
+    }
+    trk_bank_base_ = trace_->track_count();
+    for (BankId b = 0; b < cfg_.total_banks; ++b) {
+      trace_->add_track("l2 bank " + std::to_string(b));
+    }
+    interconnect_->set_trace(trace_.get(), trk_fabric_);
+    l2_->set_trace(trace_.get(), trk_bank_base_);
+  }
+  obs_hist_ = cfg_.obs.enabled();
+  if (obs_hist_) {
+    dram_->set_service_observer([this](Cycle lat) { obs_dram_.record(lat); });
+  }
+  if (cfg_.obs.metrics) {
+    metrics_ =
+        std::make_shared<obs::MetricsRegistry>(cfg_.obs.metrics_epoch_cycles);
+    metrics_->add("cluster.instructions", [this] {
+      std::uint64_t n = 0;
+      for (const cpu::Core& core : core_arena_) n += core.stats().instructions;
+      return static_cast<double>(n);
+    });
+    // Aggregate latency probes carry an emptiness predicate: an empty stat
+    // exports as JSON null, never as the fabricated 0.0 the accessors of
+    // common/stats.hpp return before the first sample.
+    metrics_->add(
+        "cluster.l2_latency_mean", [this] { return l2_latency_.mean(); },
+        [this] { return l2_latency_.count() == 0; });
+    metrics_->add(
+        "cluster.l2_latency_max",
+        [this] { return static_cast<double>(l2_latency_.max()); },
+        [this] { return l2_latency_.count() == 0; });
+    interconnect_->register_metrics(*metrics_, "fabric");
+    l2_->register_metrics(*metrics_, "l2");
+    dram_->register_metrics(*metrics_, "dram");
+    if (coh_dir_ != nullptr) coh_dir_->register_metrics(*metrics_, "coherence");
+    if (thermal_ != nullptr) thermal_->register_metrics(*metrics_, "thermal");
+    metrics_->add_prepare([this] {
+      obs_ledger_ = power::EnergyLedger{};
+      accumulate_dynamic_energy(obs_ledger_);
+    });
+    obs_ledger_.register_metrics(*metrics_, "energy");
+    next_metrics_cycle_ = cfg_.obs.metrics_epoch_cycles;
+  }
+  if (cfg_.obs.phase_timing) {
+    phase_timer_ = std::make_unique<obs::PhaseTimer>();
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -192,16 +255,30 @@ void Cluster::deliver_response(const MemResponse& resp) {
     // wedges (this is the watchdog's directed-test stimulus).
     if (drop_invalidates_remaining_ > 0) {
       --drop_invalidates_remaining_;
+      if (trace_ != nullptr) {
+        trace_->instant("drop_invalidate", trk_fault_, now_, "core", resp.core,
+                        "addr", resp.addr);
+      }
       return;
     }
     // Directory control traffic, not a request's answer: no latency
     // sample, and legal in any core state.
+    if (trace_ != nullptr) {
+      trace_->instant("Invalidate", trk_core_base_ + resp.core, now_, "bank",
+                      resp.bank, "addr", resp.addr);
+    }
     cores_[resp.core]->on_coherence_invalidate(resp, now_);
     return;
   }
   const Cycle lat = now_ - resp.issue_cycle;
   l2_latency_.add(lat);
   if (resp.l2_hit) l2_hit_latency_.add(lat);
+  if (obs_hist_) obs_l2_rt_.record(lat);
+  if (trace_ != nullptr) {
+    trace_->complete(resp_kind_name(resp.kind), trk_core_base_ + resp.core,
+                     resp.issue_cycle, lat, "bank", resp.bank, "hit",
+                     resp.l2_hit ? 1 : 0);
+  }
   cores_[resp.core]->on_response(resp, now_);
 }
 
@@ -214,33 +291,67 @@ void Cluster::drain_fabric_deliveries() {
   const std::vector<MemRequest>& reqs = interconnect_->delivered_requests();
   if (resps.empty() && reqs.empty()) return;
   for (const MemResponse& resp : resps) deliver_response(resp);
-  for (const MemRequest& req : reqs) l2_->deliver(req, now_);
+  for (const MemRequest& req : reqs) {
+    // Invalidation round-trip: invalidate delivery at the core (the ack's
+    // issue cycle) to acknowledgement arrival back at the bank.
+    if (req.kind == ReqKind::kInvAck || req.kind == ReqKind::kDataForward) {
+      if (obs_hist_) obs_inv_rt_.record(now_ - req.issue_cycle);
+      if (trace_ != nullptr) {
+        trace_->complete(req_kind_name(req.kind), trk_bank_base_ + req.bank,
+                         req.issue_cycle, now_ - req.issue_cycle, "core",
+                         req.core, "addr", req.addr);
+      }
+    }
+    l2_->deliver(req, now_);
+  }
   interconnect_->clear_deliveries();
 }
 
 void Cluster::inject_core_traffic() {
+  inject_coherence_acks();
+  inject_demand_requests();
+}
+
+void Cluster::inject_coherence_acks() {
   // Coherence acknowledgements first: they unblock stalled directory
   // transactions and flow even while the cores' clocks are held (the L1
   // snoop controller is not on the gated core clock).
-  if (coh_dir_ != nullptr) {
-    for (cpu::Core& core : core_arena_) {
-      while (core.pending_coherence() != nullptr &&
-             interconnect_->try_inject_request(*core.pending_coherence(), now_)) {
-        core.coherence_accepted(now_);
+  if (coh_dir_ == nullptr) return;
+  for (cpu::Core& core : core_arena_) {
+    while (core.pending_coherence() != nullptr &&
+           interconnect_->try_inject_request(*core.pending_coherence(), now_)) {
+      if (trace_ != nullptr) {
+        // Accepted injections only — a failed try is a poll, and polls
+        // differ between the schedulers.
+        const MemRequest& req = *core.pending_coherence();
+        trace_->instant(req_kind_name(req.kind), trk_core_base_ + req.core,
+                        now_, "bank", req.bank, "addr", req.addr);
       }
+      core.coherence_accepted(now_);
     }
   }
-  if (!cores_frozen_) {
-    for (cpu::Core& core : core_arena_) {
-      if (core.pending_request().has_value() &&
-          interconnect_->try_inject_request(*core.pending_request(), now_)) {
-        core.injection_accepted(now_);
+}
+
+void Cluster::inject_demand_requests() {
+  if (cores_frozen_) return;
+  for (cpu::Core& core : core_arena_) {
+    if (core.pending_request().has_value() &&
+        interconnect_->try_inject_request(*core.pending_request(), now_)) {
+      if (trace_ != nullptr) {
+        const MemRequest& req = *core.pending_request();
+        trace_->instant(req_kind_name(req.kind), trk_core_base_ + req.core,
+                        now_, "bank", req.bank, "addr", req.addr);
       }
+      core.injection_accepted(now_);
     }
   }
 }
 
 void Cluster::tick_once() {
+  if (phase_timer_ != nullptr && phase_timer_->should_sample()) {
+    tick_once_timed(/*event_mode=*/false);
+    return;
+  }
   // Frozen cores are clock-held: no tick, no injection retry.  They are
   // also excluded from event-mode skip accounting, so both schedulers see
   // identical (frozen) core statistics.
@@ -261,6 +372,10 @@ void Cluster::tick_once() {
 // are evaluated just-in-time because earlier phases of the same cycle may
 // stimulate later components (core -> interconnect -> L2 -> DRAM).
 void Cluster::tick_once_event() {
+  if (phase_timer_ != nullptr && phase_timer_->should_sample()) {
+    tick_once_timed(/*event_mode=*/true);
+    return;
+  }
   if (!cores_frozen_) {
     for (cpu::Core& core : core_arena_) core.tick(now_);
   }
@@ -274,12 +389,48 @@ void Cluster::tick_once_event() {
   ++now_;
 }
 
+void Cluster::tick_once_timed(bool event_mode) {
+  // Same phase order as the untimed ticks; steady_clock stamps between
+  // phases attribute host wall time.  drain_fabric_deliveries() touches
+  // core and bank state but runs on behalf of the fabric's deliveries, so
+  // its cost is charged to the fabric phase (documented convention).
+  using PT = obs::PhaseTimer;
+  const auto t0 = PT::clock::now();
+  if (!cores_frozen_) {
+    for (cpu::Core& core : core_arena_) core.tick(now_);
+  }
+  const auto t1 = PT::clock::now();
+  phase_timer_->add(PT::kWorkload, t0, t1);
+  inject_coherence_acks();
+  const auto t2 = PT::clock::now();
+  phase_timer_->add(PT::kCoherence, t1, t2);
+  inject_demand_requests();
+  if (!event_mode || interconnect_->next_event(now_) <= now_) {
+    interconnect_->tick(now_);
+    drain_fabric_deliveries();
+  }
+  const auto t3 = PT::clock::now();
+  phase_timer_->add(PT::kFabric, t2, t3);
+  if (!event_mode || l2_->next_event(now_) <= now_) l2_->tick(now_);
+  const auto t4 = PT::clock::now();
+  phase_timer_->add(PT::kL2, t3, t4);
+  if (!event_mode || dram_->next_event(now_) <= now_) dram_->tick(now_);
+  const auto t5 = PT::clock::now();
+  phase_timer_->add(PT::kDram, t4, t5);
+  ++now_;
+}
+
 Cycle Cluster::next_event_cycle() const {
   Cycle next = kNeverCycle;
   // Thermal boundaries and the post-reconfiguration unfreeze point are
   // events: the jump must land on them exactly, as the dense loop does.
   if (thermal_ != nullptr) {
     next = std::min(next, next_thermal_cycle_);
+  }
+  if (metrics_ != nullptr) {
+    // Metrics epoch boundaries are events exactly like thermal boundaries,
+    // so both schedulers sample at identical cycles.
+    next = std::min(next, next_metrics_cycle_);
   }
   if (fault_sched_ != nullptr) {
     // The next scheduled fault is an event: the jump must land on it so
@@ -376,6 +527,7 @@ SimResult Cluster::run() {
     }
   }
   thermal_finalize();
+  obs_finalize();
   return collect_result();
 }
 
@@ -390,6 +542,25 @@ void Cluster::poll() {
     set_frozen(draining_ || governor_hold_ || now_ < frozen_until_);
   }
   if (watchdog_ != nullptr) watchdog_poll();
+  metrics_poll();
+}
+
+void Cluster::metrics_poll() {
+  // Exact boundary match, mirroring thermal sampling: the dense loop walks
+  // every cycle and the event loop's jump lands on the boundary exactly
+  // (next_event_cycle() includes it), so `==` holds for both.
+  if (metrics_ == nullptr || now_ != next_metrics_cycle_) return;
+  metrics_->sample(now_);
+  next_metrics_cycle_ = now_ + cfg_.obs.metrics_epoch_cycles;
+}
+
+void Cluster::obs_finalize() {
+  // Tail sample at the run's final cycle (unless it landed on a boundary)
+  // so short runs export at least one row.  Both schedulers finish at the
+  // same now_, so the tail row is deterministic too.
+  if (metrics_ != nullptr && metrics_->last_sample_cycle() != now_) {
+    metrics_->sample(now_);
+  }
 }
 
 void Cluster::set_frozen(bool frozen) {
@@ -409,6 +580,11 @@ void Cluster::try_complete_drain() {
     const core::ReconfigCost cost = reconfig_->apply(*drain_target_, now_);
     governor_flush_pj_ += cost.flush_energy_pj;
     frozen_until_ = now_ + cost.reprogram_cycles;
+    if (trace_ != nullptr) {
+      trace_->complete("reconfig_drain", trk_governor_, drain_begin_,
+                       now_ - drain_begin_, "reprogram_cycles",
+                       cost.reprogram_cycles);
+    }
     draining_ = false;
     drain_target_.reset();
   }
@@ -437,6 +613,14 @@ void Cluster::fault_poll() {
   const auto& evs = fault_sched_->events();
   while (fault_event_idx_ < evs.size() && evs[fault_event_idx_].cycle <= now_) {
     ++fault_summary_.injected;
+    if (trace_ != nullptr) {
+      // Recorded at the injection poll, not inside apply_fault(): a bank
+      // gate deferred behind a drain re-applies later and would otherwise
+      // emit twice.
+      const fault::FaultEvent& ev = evs[fault_event_idx_];
+      trace_->instant(fault::fault_kind_name(ev.kind), trk_fault_, now_,
+                      "target", ev.target, "magnitude", ev.magnitude);
+    }
     apply_fault(evs[fault_event_idx_]);
     ++fault_event_idx_;
     // If the fabric happens to be idle the drain completes *now* — waiting
@@ -487,6 +671,7 @@ void Cluster::apply_fault(const fault::FaultEvent& ev) {
       mark_degraded();
       draining_ = true;
       drain_target_ = act.target;
+      drain_begin_ = now_;
       break;
     case fault::DegradeActionKind::kUnrecoverable:
       ++fault_summary_.unrecoverable;
@@ -567,6 +752,9 @@ std::string Cluster::progress_dump() const {
      << ", l2 " << (l2_->idle() ? "idle" : "busy") << ", dram "
      << (dram_->idle() ? "idle" : "busy")
      << (cores_frozen_ ? ", cores clock-held" : "");
+  if (trace_ != nullptr && trace_->recorded() > 0) {
+    os << "\n" << trace_->flight_dump(cfg_.obs.flight_recorder_events);
+  }
   return os.str();
 }
 
@@ -587,6 +775,16 @@ void Cluster::thermal_poll() {
           !(*d.reconfigure == mot_->state())) {
         draining_ = true;
         drain_target_ = d.reconfigure;
+        drain_begin_ = now_;
+        if (trace_ != nullptr) {
+          trace_->instant("demote", trk_governor_, now_, "peak_c_x100",
+                          static_cast<std::uint64_t>(thermal_->peak_c() * 100.0),
+                          "banks", d.reconfigure->active_banks());
+        }
+      }
+      if (trace_ != nullptr && d.hold_cores && !governor_hold_) {
+        trace_->instant("core_hold", trk_governor_, now_, "peak_c_x100",
+                        static_cast<std::uint64_t>(thermal_->peak_c() * 100.0));
       }
       governor_hold_ = d.hold_cores;
     }
@@ -829,6 +1027,18 @@ SimResult Cluster::collect_result() const {
     r.energy.add_static(power::Component::kInterconnect,
                         interconnect_->leakage_mw() * static_cast<double>(now_));
   }
+
+  if (obs_hist_) {
+    r.obs.enabled = true;
+    r.obs.l2_rt = obs_l2_rt_.digest();
+    r.obs.inv_rt = obs_inv_rt_.digest();
+    r.obs.dram_service = obs_dram_.digest();
+  }
+  // The trace rides along only for full-trace runs: flight-recorder rings
+  // exist for the watchdog dump and must not alter fault-run reporting.
+  if (cfg_.obs.trace) r.trace = trace_;
+  if (metrics_ != nullptr) r.metrics = metrics_;
+  if (phase_timer_ != nullptr) r.phase_seconds = phase_timer_->totals();
 
   r.edp_pj_s = r.energy.edp_pj_s(now_);
   r.avg_power_w = r.energy.average_power_w(now_);

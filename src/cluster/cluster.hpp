@@ -28,6 +28,11 @@
 #include "mem/dram.hpp"
 #include "mem/l2_system.hpp"
 #include "noc/noc_interconnect.hpp"
+#include "obs/latency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs_config.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 #include "phys/geometry.hpp"
 #include "phys/technology.hpp"
 #include "power/core_power.hpp"
@@ -92,6 +97,9 @@ struct ClusterConfig {
   /// (e.g. mot3d_experiments --timeout) and tunes its intervals.
   fault::WatchdogConfig watchdog;
 
+  // -- observability (disabled by default; see src/obs/) --
+  obs::ObsConfig obs;
+
   // -- simulation --
   SchedulerMode scheduler = SchedulerMode::kEventDriven;
   Cycle max_cycles = 200'000'000;       ///< runaway guard
@@ -147,6 +155,18 @@ struct SimResult {
   /// unrecoverable topology with partial results.
   fault::FaultSummary fault;
 
+  /// Observability digests (enabled == false when tracing/metrics were
+  /// off; the obs_* scenario-JSON fields then stay absent).
+  obs::ObsSummary obs;
+  /// Host wall-seconds per simulator phase (valid only when
+  /// ObsConfig::phase_timing was on; bench_scale --json uses this).
+  obs::PhaseSeconds phase_seconds;
+  /// The run's full event trace / sampled metrics; null unless the
+  /// corresponding ObsConfig switch was on.  Shared with the cluster
+  /// (the buffers are immutable after run()).
+  std::shared_ptr<const obs::TraceBuffer> trace;
+  std::shared_ptr<const obs::MetricsRegistry> metrics;
+
   std::vector<cpu::CoreStats> cores;  ///< active cores only
 
   double ipc() const {
@@ -188,6 +208,12 @@ class Cluster {
   void tick_once();
   void tick_once_event();
 
+  /// Instrumented tick (1-in-64 sampled when phase timing is on): the same
+  /// phase order as tick_once / tick_once_event with steady_clock stamps
+  /// between phases.  Clock reads never touch model state, so timing a run
+  /// cannot perturb its modeled metrics.
+  void tick_once_timed(bool event_mode);
+
   /// Hand one fabric-delivered response to its core (or the L1 snoop
   /// controller for invalidations), recording the latency sample.
   void deliver_response(const MemResponse& resp);
@@ -199,8 +225,11 @@ class Cluster {
 
   /// Shared per-cycle injection phase of both schedulers: coherence
   /// acknowledgements first (they flow even while cores are clock-held),
-  /// then the demand request of each unfrozen core.
+  /// then the demand request of each unfrozen core.  Split so the timed
+  /// tick can attribute the two halves to different phases.
   void inject_core_traffic();
+  void inject_coherence_acks();
+  void inject_demand_requests();
 
   /// Minimum over every component's next_event(now_); never below now_.
   /// Thermal sampling boundaries, the governor's unfreeze point, fault
@@ -257,6 +286,17 @@ class Cluster {
 
   /// Evaluate the watchdog at a check boundary; throws WatchdogError.
   void watchdog_poll();
+
+  // -- observability plumbing (all no-ops when cfg_.obs is all-off) --
+
+  /// Take an interval metrics sample when now_ is an epoch boundary.
+  /// The boundary participates in next_event_cycle() exactly like thermal
+  /// sampling, so both schedulers sample at identical cycles.
+  void metrics_poll();
+
+  /// Tail metrics sample at the run's final cycle (if not already on a
+  /// boundary) so short runs export at least one row.
+  void obs_finalize();
 
   /// Monotone count of real forward progress (instructions, L2/DRAM
   /// traffic, delivered messages) — frozen exactly when the run is wedged.
@@ -324,6 +364,22 @@ class Cluster {
 
   // -- watchdog (engaged when cfg_.watchdog.enabled or faults are on) --
   std::unique_ptr<fault::Watchdog> watchdog_;
+
+  // -- observability state (engaged only via cfg_.obs; see src/obs/) --
+  /// Trace sink: unbounded under cfg_.obs.trace, a bounded flight-recorder
+  /// ring under cfg_.obs.flight_recorder or for fault runs with a watchdog
+  /// (never for timeout-only watchdogs — the perf guardrail uses those).
+  /// shared_ptr because the const collect_result() hands it to SimResult.
+  std::shared_ptr<obs::TraceBuffer> trace_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::PhaseTimer> phase_timer_;
+  power::EnergyLedger obs_ledger_;  ///< refreshed by a prepare hook per sample
+  obs::LatencyHistogram obs_l2_rt_, obs_inv_rt_, obs_dram_;
+  bool obs_hist_ = false;           ///< record latency histograms this run
+  Cycle next_metrics_cycle_ = kNeverCycle;
+  Cycle drain_begin_ = 0;           ///< start cycle of the pending drain
+  std::uint32_t trk_governor_ = 0, trk_fabric_ = 0, trk_fault_ = 0;
+  std::uint32_t trk_core_base_ = 0, trk_bank_base_ = 0;
 };
 
 /// Canonical paper setup: Table I architecture + the given knobs.

@@ -13,6 +13,11 @@
 #include "common/messages.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace mot3d::obs {
+class TraceBuffer;
+}  // namespace mot3d::obs
 
 namespace mot3d {
 
@@ -95,6 +100,32 @@ class Interconnect {
 
   const InterconnectStats& stats() const { return stats_; }
 
+  /// Observability: point the fabric at a trace sink (null = off) and
+  /// the track id its events are stamped with.  Implementations record
+  /// grant/route events only on model state changes, never on failed
+  /// injection attempts — a retry polled every cycle is invisible to the
+  /// event-driven scheduler, and recording it would break the
+  /// dense-vs-event trace differential.
+  void set_trace(obs::TraceBuffer* trace, std::uint32_t track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
+  /// Registers the transport counters under `prefix` (e.g. "fabric").
+  void register_metrics(obs::MetricsRegistry& m,
+                        const std::string& prefix) const {
+    m.add(prefix + ".requests_delivered", [this] {
+      return static_cast<double>(stats_.requests_delivered);
+    });
+    m.add(prefix + ".responses_delivered", [this] {
+      return static_cast<double>(stats_.responses_delivered);
+    });
+    m.add(prefix + ".arbitration_wait_cycles", [this] {
+      return static_cast<double>(stats_.arbitration_wait_cycles);
+    });
+    m.add(prefix + ".dynamic_energy_pj", [this] { return dynamic_energy_pj(); });
+  }
+
  protected:
   /// Implementations deliver through these: dispatches to the registered
   /// sink when present (unit tests, custom harnesses), otherwise appends
@@ -119,6 +150,8 @@ class Interconnect {
   std::vector<MemRequest> delivered_requests_;
   std::vector<MemResponse> delivered_responses_;
   InterconnectStats stats_;
+  obs::TraceBuffer* trace_ = nullptr;  ///< null = observability off
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace mot3d

@@ -35,6 +35,28 @@ enum class RespKind : std::uint8_t {
   kInvalidate,  ///< directory orders the core to drop its L1 copy
 };
 
+/// Static-lifetime names for trace events and dumps.
+constexpr const char* req_kind_name(ReqKind k) {
+  switch (k) {
+    case ReqKind::kGetS: return "GetS";
+    case ReqKind::kGetX: return "GetX";
+    case ReqKind::kUpgrade: return "Upgrade";
+    case ReqKind::kWriteback: return "Writeback";
+    case ReqKind::kInvAck: return "InvAck";
+    case ReqKind::kDataForward: return "DataForward";
+  }
+  return "?";
+}
+
+constexpr const char* resp_kind_name(RespKind k) {
+  switch (k) {
+    case RespKind::kData: return "Data";
+    case RespKind::kUpgradeAck: return "UpgradeAck";
+    case RespKind::kInvalidate: return "Invalidate";
+  }
+  return "?";
+}
+
 /// A core-to-L2 transaction travelling through the on-chip interconnect.
 /// `bank` is the *logical* bank index derived from the line address; the
 /// interconnect rewrites it to the physical bank when routing switches run

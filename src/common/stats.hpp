@@ -30,8 +30,12 @@ class RunningStat {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  // min()/max() return 0.0 when empty — indistinguishable from a real
+  // zero sample, so serialisers must consult empty() and emit an
+  // explicit null/omission instead (obs::MetricsRegistry does).
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
+  bool empty() const { return count_ == 0; }
 
   void reset() { *this = RunningStat{}; }
 

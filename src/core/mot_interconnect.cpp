@@ -5,6 +5,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace mot3d::core {
 
 MotInterconnect::MotInterconnect(const MotTimingModel& timing,
@@ -135,6 +137,15 @@ void MotInterconnect::tick(Cycle now) {
       InFlight& s = core_slot_[*winner];
       stats_.arbitration_wait_cycles += now - s.eligible;
       ++stats_.requests_delivered;
+      if (trace_ != nullptr) {
+        // One complete event per grant: ts = routing-tree arrival, dur =
+        // cycles lost to arbitration/circuit hold.  Grant count and the
+        // sum of durations therefore reproduce requests_delivered and
+        // arbitration_wait_cycles exactly (pinned by the obs cross-check
+        // test).
+        trace_->complete("grant", trace_track_, s.eligible, now - s.eligible,
+                         "core", *winner, "bank", b);
+      }
       bank_free_at_[b] = now + cfg_.bank_hold_cycles + bank_fault_penalty_[b];
       if (bank_fault_penalty_[b] > 0) {
         // Degraded TSV column: the circuit establishment needs retry pulses.

@@ -92,6 +92,7 @@ void DramBackend::tick(Cycle now) {
     } else {
       ++stats_.reads;
       const Cycle done = start + access_latency_cycles(txn.addr);
+      if (service_obs_) service_obs_(done - txn.enqueued);
       completions_.push(Completion{done, txn.requester, txn.addr, std::move(txn.cb)});
       ++in_flight_;
     }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace mot3d::mem {
 
@@ -87,6 +88,27 @@ class DramBackend {
   const DramStats& stats() const { return stats_; }
   const DramConfig& config() const { return cfg_; }
 
+  /// Observability: fires once per read grant with the modeled service
+  /// latency (enqueue -> data back at the cluster boundary).  Computed
+  /// from model quantities only, so it is identical in both scheduler
+  /// modes; null (the default) costs one untaken branch per grant.
+  void set_service_observer(std::function<void(Cycle)> obs) {
+    service_obs_ = std::move(obs);
+  }
+
+  /// Registers the backend counters under `prefix` (e.g. "dram").
+  void register_metrics(obs::MetricsRegistry& m,
+                        const std::string& prefix) const {
+    m.add(prefix + ".reads",
+          [this] { return static_cast<double>(stats_.reads); });
+    m.add(prefix + ".writes",
+          [this] { return static_cast<double>(stats_.writes); });
+    m.add(prefix + ".total_wait_cycles",
+          [this] { return static_cast<double>(stats_.total_wait_cycles); });
+    m.add(prefix + ".dynamic_energy_pj",
+          [this] { return stats_.dynamic_energy_pj; });
+  }
+
  private:
   struct Txn {
     std::uint32_t requester = 0;
@@ -116,6 +138,7 @@ class DramBackend {
   std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions_;
   std::size_t in_flight_ = 0;
   DramStats stats_;
+  std::function<void(Cycle)> service_obs_;  ///< null = observability off
 };
 
 }  // namespace mot3d::mem

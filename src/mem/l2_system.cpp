@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/interconnect.hpp"
+#include "obs/trace.hpp"
 
 namespace mot3d::mem {
 
@@ -126,6 +127,10 @@ void L2System::finish_request(BankId bank_id, const MemRequest& req, Cycle now,
     ++stats_.misses;
     ++bank.misses_in_flight;
     ++misses_total_;
+    if (trace_ != nullptr) {
+      trace_->instant("l2_miss", trace_bank_base_ + bank_id, now, "core",
+                      req.core, "addr", req.addr);
+    }
     // Tag check took access_cycles; then the line refill goes out on
     // the round-robin Miss bus.
     const MemRequest miss_req = req;
@@ -191,6 +196,12 @@ void L2System::tick(Cycle now) {
                 CohPending{pa.req, static_cast<unsigned>(d.invalidate.size()),
                            false, d.upgrade_ack, d.install_shared};
             ++coh_stalls_;
+            if (trace_ != nullptr) {
+              // One instant per parked transaction; the per-sharer
+              // invalidations and acks appear on the core tracks.
+              trace_->instant("inv_send", trace_bank_base_ + b, now, "core",
+                              pa.req.core, "acks", d.invalidate.size());
+            }
           } else {
             finish_request(b, pa.req, now, d.upgrade_ack, d.install_shared,
                            false);

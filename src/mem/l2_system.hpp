@@ -25,10 +25,15 @@
 #include "common/types.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
+#include "obs/metrics.hpp"
 
 namespace mot3d {
 class Interconnect;
 }
+
+namespace mot3d::obs {
+class TraceBuffer;
+}  // namespace mot3d::obs
 
 namespace mot3d::mem {
 
@@ -127,6 +132,30 @@ class L2System {
   const L2Config& config() const { return cfg_; }
   const CacheStats& bank_cache_stats(BankId b) const { return banks_.at(b).cache.stats(); }
 
+  /// Observability: bank events ("l2_miss", "inv_send") are stamped on
+  /// track `bank_track_base + physical_bank`.  Null = off (one untaken
+  /// branch per miss / invalidation batch).
+  void set_trace(obs::TraceBuffer* trace, std::uint32_t bank_track_base) {
+    trace_ = trace;
+    trace_bank_base_ = bank_track_base;
+  }
+
+  /// Registers the L2 counters under `prefix` (e.g. "l2").
+  void register_metrics(obs::MetricsRegistry& m,
+                        const std::string& prefix) const {
+    m.add(prefix + ".hits",
+          [this] { return static_cast<double>(stats_.hits); });
+    m.add(prefix + ".misses",
+          [this] { return static_cast<double>(stats_.misses); });
+    m.add(prefix + ".writebacks",
+          [this] { return static_cast<double>(stats_.writebacks); });
+    m.add(prefix + ".bank_conflict_cycles", [this] {
+      return static_cast<double>(stats_.bank_conflict_cycles);
+    });
+    m.add(prefix + ".dynamic_energy_pj",
+          [this] { return stats_.dynamic_energy_pj; });
+  }
+
   /// Parked-state snapshot of one bank for watchdog / deadlock dumps.
   struct BankDebug {
     std::size_t in_queue = 0;
@@ -209,6 +238,8 @@ class L2System {
   Interconnect* transport_ = nullptr;
   coherence::CoherenceDirectory* dir_ = nullptr;
   L2Stats stats_;
+  obs::TraceBuffer* trace_ = nullptr;  ///< null = observability off
+  std::uint32_t trace_bank_base_ = 0;
 };
 
 }  // namespace mot3d::mem

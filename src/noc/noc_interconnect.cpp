@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace mot3d::noc {
 
 const char* topology_name(NocTopology t) {
@@ -30,9 +32,22 @@ NocInterconnect::NocInterconnect(NocTopology topology, const NocConfig& cfg,
   net_.set_delivery([this](const Packet& p, Cycle now) {
     if (p.kind == PacketKind::kRequest) {
       ++stats_.requests_delivered;
+      if (trace_ != nullptr) {
+        // ts = injection, dur = full in-network latency (queueing +
+        // serialisation + hops); recorded only at delivery, which is a
+        // model state change in both scheduler modes.
+        trace_->complete("route_req", trace_track_, p.created,
+                         now - p.created, "core", p.req.core, "bank",
+                         p.req.bank);
+      }
       emit_request(p.req, now);
     } else {
       ++stats_.responses_delivered;
+      if (trace_ != nullptr) {
+        trace_->complete("route_resp", trace_track_, p.created,
+                         now - p.created, "core", p.resp.core, "bank",
+                         p.resp.bank);
+      }
       emit_response(p.resp, now);
     }
   });

@@ -1,0 +1,43 @@
+#include "obs/latency.hpp"
+
+namespace mot3d::obs {
+
+LatencyDigest LatencyHistogram::digest() const {
+  LatencyDigest d;
+  d.count = count_;
+  if (count_ == 0) return d;
+
+  // Percentile q: the smallest recorded value whose cumulative count
+  // reaches ceil(q * count) — a value that actually occurred.
+  const std::uint64_t rank50 = (count_ * 50 + 99) / 100;
+  const std::uint64_t rank95 = (count_ * 95 + 99) / 100;
+  const std::uint64_t rank99 = (count_ * 99 + 99) / 100;
+
+  bool have_min = false;
+  std::uint64_t cum = 0;
+  Cycle last_seen = 0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    if (counts_[v] == 0) continue;
+    if (!have_min) {
+      d.min = static_cast<Cycle>(v);
+      have_min = true;
+    }
+    last_seen = static_cast<Cycle>(v);
+    const std::uint64_t prev = cum;
+    cum += counts_[v];
+    if (prev < rank50 && rank50 <= cum) d.p50 = last_seen;
+    if (prev < rank95 && rank95 <= cum) d.p95 = last_seen;
+    if (prev < rank99 && rank99 <= cum) d.p99 = last_seen;
+  }
+  if (overflow_count_ > 0) {
+    if (!have_min) d.min = overflow_max_;
+    last_seen = overflow_max_;
+    if (cum < rank50) d.p50 = overflow_max_;
+    if (cum < rank95) d.p95 = overflow_max_;
+    if (cum < rank99) d.p99 = overflow_max_;
+  }
+  d.max = last_seen;
+  return d;
+}
+
+}  // namespace mot3d::obs

@@ -1,0 +1,84 @@
+// Interval metrics registry: hierarchical named counters sampled on
+// deterministic epoch boundaries.
+//
+// Components register read-only probes ("l2.misses", "fabric.grants",
+// "energy.core_pj"…) at construction time; the cluster samples every
+// probe when the simulated clock crosses an epoch boundary.  The
+// boundary is folded into the cluster's next_event computation — the
+// same pattern as thermal sampling — so the event-driven scheduler
+// lands on exactly the cycles the dense scheduler walks through, and
+// the exported time series is bit-identical between the two (pinned by
+// tests/test_obs.cpp).
+//
+// A probe may be paired with an `empty` predicate: statistics with no
+// samples yet (RunningStat and friends return 0.0 for min()/max() when
+// empty, indistinguishable from a real zero) are recorded as NaN and
+// serialised as explicit JSON null / an empty CSV cell.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mot3d::obs {
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(Cycle epoch_cycles) : epoch_(epoch_cycles) {}
+
+  Cycle epoch_cycles() const { return epoch_; }
+
+  /// Hook run once per sample before any probe is read (e.g. refresh a
+  /// scratch EnergyLedger that several probes then read).
+  void add_prepare(std::function<void()> hook) {
+    prepare_.push_back(std::move(hook));
+  }
+
+  /// Registers counter `name` (dotted hierarchy, e.g. "l2.misses").
+  /// When `empty` is provided and true at sample time, the sample is
+  /// recorded as null instead of the probe value.
+  void add(std::string name, std::function<double()> probe,
+           std::function<bool()> empty = nullptr);
+
+  /// Records one row at simulated cycle `now`.
+  void sample(Cycle now);
+
+  std::size_t counter_count() const { return counters_.size(); }
+  const std::string& counter_name(std::size_t i) const {
+    return counters_[i].name;
+  }
+  std::size_t sample_count() const { return cycles_.size(); }
+  Cycle sample_cycle(std::size_t s) const { return cycles_[s]; }
+  /// NaN encodes an explicit null sample.
+  double value(std::size_t counter, std::size_t s) const {
+    return counters_[counter].series[s];
+  }
+  Cycle last_sample_cycle() const {
+    return cycles_.empty() ? kNeverCycle : cycles_.back();
+  }
+
+  /// One run object: {"cycles":[...],"counters":{"name":[...],...}}.
+  void write_json(std::ostream& os) const;
+  /// Long-format CSV rows "run,cycle,counter,value" (header is the
+  /// caller's; null samples leave the value cell empty).
+  void write_csv_rows(std::ostream& os, const std::string& run) const;
+
+ private:
+  struct Counter {
+    std::string name;
+    std::function<double()> probe;
+    std::function<bool()> empty;  ///< may be null: never empty
+    std::vector<double> series;
+  };
+
+  Cycle epoch_;
+  std::vector<Cycle> cycles_;
+  std::vector<std::function<void()>> prepare_;
+  std::vector<Counter> counters_;
+};
+
+}  // namespace mot3d::obs

@@ -1,0 +1,50 @@
+// Observability configuration and per-run summary types.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "obs/latency.hpp"
+
+namespace mot3d::obs {
+
+/// ClusterConfig::obs — everything defaults to off; a run without
+/// observability records nothing and pays only null-pointer checks.
+struct ObsConfig {
+  /// Record a full event trace (exported as Chrome-trace JSON).
+  bool trace = false;
+  /// Sample the interval metrics registry every epoch.
+  bool metrics = false;
+  Cycle metrics_epoch_cycles = 10'000;
+  /// Keep a bounded ring of recent events for watchdog dumps even when
+  /// no full trace is requested.  Fault-injection runs (which always
+  /// carry a watchdog) engage the ring automatically.
+  bool flight_recorder = false;
+  std::size_t flight_recorder_events = 128;
+  /// Attribute host wall-time to simulator phases (bench_scale --json).
+  bool phase_timing = false;
+
+  /// True when any latency histogram / trace / metrics machinery runs.
+  bool enabled() const { return trace || metrics; }
+};
+
+/// Latency digests surfaced as obs_* fields in scenario JSON.
+struct ObsSummary {
+  bool enabled = false;
+  LatencyDigest l2_rt;         ///< L2 request round-trip (issue -> response)
+  LatencyDigest inv_rt;        ///< invalidation round-trip (send -> ack)
+  LatencyDigest dram_service;  ///< DRAM enqueue -> completion
+};
+
+/// Host wall-seconds attributed to simulator phases (extrapolated from
+/// a 1-in-64 tick sample; see PhaseTimer).
+struct PhaseSeconds {
+  bool valid = false;
+  double workload = 0.0;   ///< core ticks (trace replay, L1)
+  double coherence = 0.0;  ///< coherence ack injection
+  double fabric = 0.0;     ///< demand injection + interconnect tick/drain
+  double l2 = 0.0;         ///< L2 bank pipelines + directory
+  double dram = 0.0;       ///< DRAM backend
+};
+
+}  // namespace mot3d::obs

@@ -1,0 +1,102 @@
+// Trace sink: Chrome-trace-event / Perfetto JSON emission for one run.
+//
+// A TraceBuffer records model *state changes* (request issue, fabric
+// grant, response delivery, fault injection, reconfiguration drains…)
+// stamped in simulated cycles, one track per core / L2 bank / fabric /
+// governor.  Because only state changes are recorded — never wall-clock
+// or iteration-count artefacts — the event stream is bit-identical
+// between the dense-tick and event-driven schedulers (the differential
+// test in tests/test_obs.cpp pins this).
+//
+// Two operating modes share the one type:
+//   capacity == 0   unbounded buffer, exported as a full trace file;
+//   capacity  > 0   drop-oldest ring — the watchdog "flight recorder"
+//                   that attaches the last N events to a parked-state
+//                   dump without ever growing.
+//
+// Recording is allocation-free on the hot path: event names and arg
+// keys must be string literals (static lifetime), and every emission
+// site is guarded by a null-sink pointer check so a run without
+// observability pays a single untaken branch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mot3d::obs {
+
+/// One recorded event.  `phase` follows the Chrome trace-event format:
+/// 'X' = complete (ts + dur), 'i' = instant.  Up to two integer args.
+struct TraceEvent {
+  const char* name = "";
+  std::uint32_t track = 0;
+  Cycle ts = 0;
+  Cycle dur = 0;
+  char phase = 'i';
+  const char* key1 = nullptr;  ///< string literal or nullptr
+  std::uint64_t val1 = 0;
+  const char* key2 = nullptr;  ///< string literal or nullptr
+  std::uint64_t val2 = 0;
+};
+
+class TraceBuffer {
+ public:
+  /// capacity == 0: unbounded; capacity > 0: ring of the newest events.
+  explicit TraceBuffer(std::size_t capacity = 0);
+
+  /// Registers a named track (Chrome "thread") and returns its id.
+  std::uint32_t add_track(std::string name);
+  std::size_t track_count() const { return tracks_.size(); }
+  const std::string& track_name(std::uint32_t id) const { return tracks_[id]; }
+
+  void instant(const char* name, std::uint32_t track, Cycle ts,
+               const char* key1 = nullptr, std::uint64_t val1 = 0,
+               const char* key2 = nullptr, std::uint64_t val2 = 0) {
+    push(TraceEvent{name, track, ts, 0, 'i', key1, val1, key2, val2});
+  }
+
+  void complete(const char* name, std::uint32_t track, Cycle ts, Cycle dur,
+                const char* key1 = nullptr, std::uint64_t val1 = 0,
+                const char* key2 = nullptr, std::uint64_t val2 = 0) {
+    push(TraceEvent{name, track, ts, dur, 'X', key1, val1, key2, val2});
+  }
+
+  /// Events currently retained (== recorded() unless the ring dropped).
+  std::size_t size() const { return events_.size(); }
+  /// Total events ever recorded, including ones the ring dropped.
+  std::uint64_t recorded() const { return recorded_; }
+  /// i-th retained event, oldest first.
+  const TraceEvent& event(std::size_t i) const;
+
+  /// Appends this buffer's events to an open Chrome "traceEvents" array.
+  /// `first` tracks whether a comma is needed and is updated in place.
+  void append_json_events(std::ostream& os, std::uint32_t pid,
+                          bool& first) const;
+
+  /// Human-readable tail ("flight recorder") for watchdog dumps.
+  std::string flight_dump(std::size_t max_events) const;
+
+ private:
+  void push(const TraceEvent& e);
+
+  std::size_t capacity_;  ///< 0 = unbounded
+  std::size_t head_ = 0;  ///< ring mode: index of the oldest event
+  std::uint64_t recorded_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> tracks_;
+};
+
+/// Writes a complete Chrome-trace JSON document: one "process" per run
+/// (pid = run index, labelled with the run name), one "thread" per
+/// track.  Open the file in https://ui.perfetto.dev or chrome://tracing.
+void write_chrome_trace(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, const TraceBuffer*>>& runs);
+
+}  // namespace mot3d::obs

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <ostream>
 #include <stdexcept>
 
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 
 namespace mot3d::sim {
 
@@ -19,6 +21,23 @@ bool run_is_valid(const ScenarioRun& r) {
   if (r.fabric == cluster::Fabric::kMot) return true;
   return r.state.active_cores() == r.state.total_cores() &&
          r.state.active_banks() == r.state.total_banks();
+}
+
+/// Serialise one latency digest under `key`.  An empty digest exports as
+/// an explicit JSON null — never the fabricated 0.0 that RunningStat-style
+/// accessors return before the first sample.
+void set_obs_digest(JsonObject& o, const std::string& key,
+                    const obs::LatencyDigest& d) {
+  if (d.empty()) {
+    o.set_raw(key, "null");
+    return;
+  }
+  o.set(key + "_count", d.count)
+      .set(key + "_min", static_cast<std::uint64_t>(d.min))
+      .set(key + "_max", static_cast<std::uint64_t>(d.max))
+      .set(key + "_p50", static_cast<std::uint64_t>(d.p50))
+      .set(key + "_p95", static_cast<std::uint64_t>(d.p95))
+      .set(key + "_p99", static_cast<std::uint64_t>(d.p99));
 }
 
 JsonObject run_metrics(const ScenarioRun& run, const cluster::SimResult& r) {
@@ -106,7 +125,62 @@ JsonObject run_metrics(const ScenarioRun& run, const cluster::SimResult& r) {
         .set("fault_repair_pj", f.repair_energy_pj);
     if (!f.fail_reason.empty()) o.set("fault_fail_reason", f.fail_reason);
   }
+  // Latency digests appear only when observability ran — every obs-off run
+  // (all goldens) keeps its exact field set.
+  if (r.obs.enabled) {
+    set_obs_digest(o, "obs_l2_rt", r.obs.l2_rt);
+    set_obs_digest(o, "obs_inv_rt", r.obs.inv_rt);
+    set_obs_digest(o, "obs_dram_service", r.obs.dram_service);
+  }
   return o;
+}
+
+/// Stable per-run label for trace processes and metrics rows.
+std::string run_label(const ScenarioRun& run) {
+  return run.app + "/" + fabric_key(run.fabric) + "/" + run.state.name() + "/" +
+         std::to_string(static_cast<int>(mem::dram_latency_ns(run.dram))) + "ns";
+}
+
+bool write_trace_file(const std::string& path, const ScenarioOutcome& out) {
+  std::ofstream f(path);
+  if (!f) return false;
+  std::vector<std::pair<std::string, const obs::TraceBuffer*>> traced;
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    // Errored runs have no trace to merge; their error is reported anyway.
+    if (!out.run_ok(i) || out.results[i].trace == nullptr) continue;
+    traced.emplace_back(run_label(out.runs[i]), out.results[i].trace.get());
+  }
+  obs::write_chrome_trace(f, traced);
+  return static_cast<bool>(f);
+}
+
+bool write_metrics_file(const std::string& path, const ScenarioOutcome& out) {
+  std::ofstream f(path);
+  if (!f) return false;
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    f << "run,cycle,counter,value\n";
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+      if (!out.run_ok(i) || out.results[i].metrics == nullptr) continue;
+      out.results[i].metrics->write_csv_rows(f, run_label(out.runs[i]));
+    }
+  } else {
+    f << "{\"runs\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+      if (!out.run_ok(i) || out.results[i].metrics == nullptr) continue;
+      f << (first ? "\n" : ",\n");
+      first = false;
+      f << "{\"run\":" << json_string(run_label(out.runs[i]))
+        << ",\"epoch_cycles\":" << out.results[i].metrics->epoch_cycles()
+        << ",\"series\":";
+      out.results[i].metrics->write_json(f);
+      f << "}";
+    }
+    f << "\n]}\n";
+  }
+  return static_cast<bool>(f);
 }
 
 /// An errored run serialises its axes plus the error message — no modeled
@@ -298,6 +372,9 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioOptions& op
       cfg.watchdog.enabled = true;
       cfg.watchdog.wall_deadline_seconds = opt.timeout_seconds;
     }
+    cfg.obs.trace = !opt.trace_path.empty();
+    cfg.obs.metrics = !opt.metrics_path.empty();
+    cfg.obs.phase_timing = opt.phase_timing;
     tasks.push_back([cfg] { return cluster::Cluster(cfg).run(); });
   }
   // Isolated execution: one wedged or timed-out run becomes that run's
@@ -362,6 +439,16 @@ bool write_scenario_report(const std::string& path, const ScenarioOutcome& outco
 
 int run_and_present(const ScenarioSpec& spec, const ScenarioOptions& opt,
                     std::ostream& os) {
+  // Tracing and metrics capture cluster simulations; analytic (timing)
+  // tables and self-driving custom bodies have none to instrument.
+  if ((!opt.trace_path.empty() || !opt.metrics_path.empty()) &&
+      spec.kind != ScenarioSpec::Kind::kSweep) {
+    os << "error: --trace/--metrics require a sweep scenario ('" << spec.name
+       << "' is "
+       << (spec.kind == ScenarioSpec::Kind::kTiming ? "analytic" : "custom")
+       << ")\n";
+    return 1;
+  }
   if (spec.kind == ScenarioSpec::Kind::kCustom) {
     return spec.run_custom ? spec.run_custom(spec, opt, os) : 2;
   }
@@ -397,6 +484,20 @@ int run_and_present(const ScenarioSpec& spec, const ScenarioOptions& opt,
     } else {
       std::cerr << "warning: could not write " << opt.json_path << "\n";
     }
+  }
+  if (!opt.trace_path.empty()) {
+    if (!write_trace_file(opt.trace_path, out)) {
+      os << "error: cannot write trace file '" << opt.trace_path << "'\n";
+      return 1;
+    }
+    os << "[obs] trace written to " << opt.trace_path << "\n";
+  }
+  if (!opt.metrics_path.empty()) {
+    if (!write_metrics_file(opt.metrics_path, out)) {
+      os << "error: cannot write metrics file '" << opt.metrics_path << "'\n";
+      return 1;
+    }
+    os << "[obs] metrics written to " << opt.metrics_path << "\n";
   }
   return out.error_count() > 0 ? 1 : 0;
 }

@@ -44,6 +44,15 @@ struct ScenarioOptions {
   /// watchdog: a run over budget dies with a WatchdogError that the sweep
   /// records as that run's error instead of wedging the whole process.
   double timeout_seconds = 0.0;
+  /// Chrome-trace-event JSON destination ("" = tracing off).  One process
+  /// per grid run, one thread track per core / L2 bank / fabric / governor,
+  /// timestamps in simulated cycles.  Openable in Perfetto.
+  std::string trace_path;
+  /// Interval-metrics time series destination ("" = off).  JSON by
+  /// default; a path ending in ".csv" selects long-format CSV rows.
+  std::string metrics_path;
+  /// Attribute host wall seconds to simulator phases (bench_scale --json).
+  bool phase_timing = false;
 };
 
 /// One experiment, described declaratively.

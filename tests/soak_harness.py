@@ -9,7 +9,7 @@ subprocess runs under a hard wall timeout so a simulator deadlock fails
 this harness loudly rather than hanging the pipeline.
 
 Usage:
-    python3 tests/soak_harness.py [--binary PATH] [--full] [--bench]
+    python3 tests/soak_harness.py [--binary PATH] [--full] [--bench] [--obs]
 
   --binary   path to mot3d_experiments (default: ./mot3d_experiments,
              i.e. run from the build directory)
@@ -22,6 +22,10 @@ Usage:
              machine-independent
   --bench-binary
              path to bench_scale (default: ./bench_scale)
+  --obs      also exercise the observability contract: run a traced
+             scenario, parse the Chrome-trace and interval-metrics
+             documents, and check track names, required keys, and
+             per-track timestamp monotonicity
 """
 
 import argparse
@@ -268,6 +272,122 @@ def bench_tests(bench_binary):
     return results
 
 
+REQUIRED_TRACK_NAMES = ("governor", "fabric", "faults")
+REQUIRED_METRIC_COUNTERS = ("cluster.instructions", "l2.hits", "l2.misses",
+                            "fabric.requests_delivered", "energy.l2_pj")
+
+
+def check_trace_document(name, path):
+    """Grade a Chrome-trace file: shape, track names, monotone timestamps."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return TestResult(name, False, f"unreadable trace: {e}")
+    if doc.get("displayTimeUnit") != "ns":
+        return TestResult(name, False, "missing displayTimeUnit")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return TestResult(name, False, "empty traceEvents array")
+
+    # Collect the track (thread) names declared by metadata events.
+    tracks = set()
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tracks.add(ev["args"]["name"])
+    for want in REQUIRED_TRACK_NAMES:
+        if want not in tracks:
+            return TestResult(name, False, f"missing track '{want}'")
+    if not any(t.startswith("core ") for t in tracks):
+        return TestResult(name, False, "no per-core tracks")
+    if not any(t.startswith("l2 bank ") for t in tracks):
+        return TestResult(name, False, "no per-bank tracks")
+
+    # Determinism contract: events are recorded at the moment they end, so
+    # per-track end timestamps are monotone nondecreasing in file order.
+    last_end = {}
+    payload = 0
+    for ev in events:
+        if ev.get("ph") not in ("X", "i"):
+            continue
+        payload += 1
+        if ev["ts"] < 0 or ev.get("dur", 0) < 0:
+            return TestResult(name, False, f"negative time in {ev!r}")
+        key = (ev["pid"], ev["tid"])
+        end = ev["ts"] + ev.get("dur", 0)
+        if end < last_end.get(key, 0):
+            return TestResult(
+                name, False,
+                f"timestamps went backwards on track {key}: {ev!r}")
+        last_end[key] = end
+    if payload == 0:
+        return TestResult(name, False, "no payload events, only metadata")
+    return TestResult(name, True, f"{payload} events on {len(tracks)} tracks")
+
+
+def check_metrics_document(name, path):
+    """Grade the interval-metrics file: runs, counters, epoch cycles."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return TestResult(name, False, f"unreadable metrics: {e}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return TestResult(name, False, "missing or empty 'runs'")
+    for run in runs:
+        for key in ("run", "epoch_cycles", "series"):
+            if key not in run:
+                return TestResult(name, False, f"run missing key '{key}'")
+        cycles = run["series"].get("cycles")
+        counters = run["series"].get("counters")
+        if not cycles or not counters:
+            return TestResult(name, False,
+                              f"empty series in run '{run['run']}'")
+        if any(b <= a for a, b in zip(cycles, cycles[1:])):
+            return TestResult(name, False,
+                              f"non-increasing cycles in '{run['run']}'")
+        for want in REQUIRED_METRIC_COUNTERS:
+            if want not in counters:
+                return TestResult(name, False, f"missing counter '{want}'")
+        for cname, series in counters.items():
+            if len(series) != len(cycles):
+                return TestResult(
+                    name, False,
+                    f"counter '{cname}' has {len(series)} samples for "
+                    f"{len(cycles)} epochs")
+    return TestResult(name, True, f"{len(runs)} runs ok")
+
+
+def obs_tests(binary):
+    """Observability contract: trace + metrics files of a real traced run."""
+    results = []
+    with tempfile.TemporaryDirectory(prefix="mot3d_obs_soak.") as tmp:
+        trace = os.path.join(tmp, "out.trace.json")
+        metrics = os.path.join(tmp, "out.metrics.json")
+        results.append(run_test(
+            binary, "trace subcommand writes both documents",
+            ["trace", "coherence_sharing", "--golden",
+             f"--trace={trace}", f"--metrics={metrics}"],
+            expect_patterns=[r"\[obs\] trace written to ",
+                             r"\[obs\] metrics written to "]))
+        if not results[-1].success:
+            return results
+        results.append(check_trace_document("Chrome-trace document shape",
+                                            trace))
+        results.append(check_metrics_document("interval-metrics document shape",
+                                              metrics))
+        # Unwritable destination: one structured line, non-zero exit.
+        results.append(run_test(
+            binary, "unwritable trace path fails loudly",
+            ["trace", "coherence_sharing", "--golden",
+             "--trace=/nonexistent/dir/out.trace.json",
+             f"--metrics={metrics}"],
+            expect_exit=1,
+            expect_patterns=[r"error: cannot write trace file "]))
+    return results
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", default="./mot3d_experiments")
@@ -276,6 +396,8 @@ def main():
     parser.add_argument("--bench", action="store_true",
                         help="also exercise the bench_scale guardrail contract")
     parser.add_argument("--bench-binary", default="./bench_scale")
+    parser.add_argument("--obs", action="store_true",
+                        help="also exercise the observability contract")
     opts = parser.parse_args()
 
     results = smoke_tests(opts.binary)
@@ -283,6 +405,8 @@ def main():
         results += full_tests(opts.binary)
     if opts.bench:
         results += bench_tests(opts.bench_binary)
+    if opts.obs:
+        results += obs_tests(opts.binary)
 
     print("\n==== soak harness summary ====")
     failures = 0

@@ -325,6 +325,10 @@ TEST(FaultCluster, WatchdogCatchesNeverAckedInvalidationWedge) {
       EXPECT_NE(what.find("no forward progress"), std::string::npos) << what;
       EXPECT_NE(what.find("parked state at cycle"), std::string::npos) << what;
       EXPECT_NE(what.find("core 0"), std::string::npos) << what;
+      // Fault-injected runs engage the flight-recorder ring automatically:
+      // the dump must carry the last pre-wedge trace events for triage.
+      EXPECT_NE(what.find("-- flight recorder (last"), std::string::npos)
+          << what;
     }
   }
 }
