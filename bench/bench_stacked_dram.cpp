@@ -1,0 +1,8 @@
+// Stacked-DRAM sweep: the vault-parallel 3-D backend (FR-FCFS, refresh
+// interference, thermal vault remap) against the paper's constant-latency
+// controller (see src/dram3d/).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return mot3d::bench::scenario_main("stacked_dram", argc, argv);
+}

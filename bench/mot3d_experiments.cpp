@@ -159,6 +159,11 @@ int cmd_describe(const std::vector<std::string>& names) {
       std::cout << "\n  axis fault envelopes: " << s.fault_envelopes.size()
                 << " (fault-rate x seed cells)";
     }
+    if (!s.dram_backends.empty()) {
+      std::cout << "\n  axis dram_backend (" << s.dram_backends.size() << "):";
+      for (auto b : s.dram_backends)
+        std::cout << " " << sim::dram_backend_key(b);
+    }
     std::size_t skipped = 0;
     const std::size_t valid = sim::expand_grid(s, &skipped).size();
     std::cout << "\n  grid cells: " << s.grid_size() << "\n"

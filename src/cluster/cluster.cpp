@@ -63,8 +63,15 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
 
   // ---- memory system ----
   // DRAM requesters: one Miss-bus slot per bank + one per core (I-refills).
-  dram_ = std::make_unique<mem::DramBackend>(cfg_.dram,
-                                             cfg_.total_banks + cfg_.total_cores);
+  if (cfg_.stacked_dram) {
+    auto stacked = std::make_unique<dram3d::StackedDram>(
+        cfg_.dram3d, cfg_.total_banks + cfg_.total_cores);
+    stacked_ = stacked.get();
+    dram_ = std::move(stacked);
+  } else {
+    dram_ = std::make_unique<mem::DramBackend>(
+        cfg_.dram, cfg_.total_banks + cfg_.total_cores);
+  }
   l2_ = std::make_unique<mem::L2System>(cfg_.l2, *dram_, /*dram_requester_base=*/0);
   l2_->set_active_banks(cfg_.power_state.bank_mask());
 
@@ -154,6 +161,14 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     prev_core_l1_.assign(cfg_.total_cores, 0);
     prev_bank_accesses_.assign(cfg_.total_banks, 0);
     next_thermal_cycle_ = cfg_.thermal.sample_interval_cycles;
+    if (stacked_ != nullptr) {
+      vault_temp_c_.assign(stacked_->num_vaults(), cfg_.thermal.ambient_c);
+      prev_vault_energy_.assign(stacked_->num_vaults(), 0.0);
+      if (cfg_.vault_remap.enabled) {
+        vault_remap_ =
+            std::make_unique<dram3d::VaultRemapPolicy>(cfg_.vault_remap);
+      }
+    }
   }
 
   // Both the thermal governor and the fault-degradation path gate banks
@@ -169,8 +184,9 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     fault_sched_ = std::make_unique<fault::FaultSchedule>(
         cfg_.fault, mot_ != nullptr, cfg_.total_banks,
         noc_ != nullptr ? noc_->num_routers() : 0);
-    degrade_ = std::make_unique<fault::DegradationManager>(mot_ != nullptr,
-                                                           cfg_.fault.min_banks);
+    degrade_ = std::make_unique<fault::DegradationManager>(
+        mot_ != nullptr, cfg_.fault.min_banks,
+        stacked_ != nullptr ? stacked_->num_vaults() : 0);
     if (mot_ != nullptr) {
       mot_->set_fault_retry_energy_pj(cfg_.fault.retry_energy_pj);
     }
@@ -203,12 +219,18 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     for (BankId b = 0; b < cfg_.total_banks; ++b) {
       trace_->add_track("l2 bank " + std::to_string(b));
     }
+    if (stacked_ != nullptr) trk_dram_ = trace_->add_track("dram vaults");
     interconnect_->set_trace(trace_.get(), trk_fabric_);
     l2_->set_trace(trace_.get(), trk_bank_base_);
   }
   obs_hist_ = cfg_.obs.enabled();
   if (obs_hist_) {
     dram_->set_service_observer([this](Cycle lat) { obs_dram_.record(lat); });
+    if (stacked_ != nullptr) {
+      obs_vault_.resize(stacked_->num_vaults());
+      stacked_->set_vault_service_observer(
+          [this](std::size_t v, Cycle lat) { obs_vault_[v].record(lat); });
+    }
   }
   if (cfg_.obs.metrics) {
     metrics_ =
@@ -574,9 +596,15 @@ void Cluster::set_frozen(bool frozen) {
 }
 
 void Cluster::try_complete_drain() {
-  // A pending reconfiguration drain completes once the transport is
-  // quiescent; apply it and pay the ctr reprogramming delay frozen.
-  if (draining_ && interconnect_->idle() && l2_->idle() && dram_->idle()) {
+  // A pending drain completes once the transport is quiescent.  Two kinds
+  // ride the same machinery (mutually exclusive): a reconfiguration drain
+  // (apply the power state, pay the ctr reprogramming delay frozen) and a
+  // stacked-DRAM vault swap (exchange the logical map, pay the migration
+  // freeze).
+  if (!(draining_ && interconnect_->idle() && l2_->idle() && dram_->idle())) {
+    return;
+  }
+  if (drain_target_.has_value()) {
     const core::ReconfigCost cost = reconfig_->apply(*drain_target_, now_);
     governor_flush_pj_ += cost.flush_energy_pj;
     frozen_until_ = now_ + cost.reprogram_cycles;
@@ -587,6 +615,19 @@ void Cluster::try_complete_drain() {
     }
     draining_ = false;
     drain_target_.reset();
+  } else if (pending_vault_swap_.has_value()) {
+    stacked_->swap_physical(pending_vault_swap_->hot, pending_vault_swap_->cool,
+                            now_);
+    frozen_until_ = now_ + cfg_.vault_remap.migrate_freeze_cycles;
+    if (trace_ != nullptr) {
+      trace_->complete("vault_remap", trk_dram_, drain_begin_,
+                       now_ - drain_begin_, "hot", pending_vault_swap_->hot,
+                       "cool", pending_vault_swap_->cool);
+    }
+    draining_ = false;
+    pending_vault_swap_.reset();
+  } else {
+    draining_ = false;  // defensive: drain with no payload
   }
 }
 
@@ -673,6 +714,24 @@ void Cluster::apply_fault(const fault::FaultEvent& ev) {
       drain_target_ = act.target;
       drain_begin_ = now_;
       break;
+    case fault::DegradeActionKind::kFailVault: {
+      assert(stacked_ != nullptr);
+      std::string note;
+      if (stacked_->fail_vault(act.unit, now_, &note)) {
+        ++fault_summary_.recovered;
+        fault_repair_pj_ += cfg_.fault.repair_energy_pj;
+        mark_degraded();
+        if (trace_ != nullptr) {
+          trace_->instant("vault_fail", trk_dram_, now_, "vault", act.unit);
+        }
+      } else {
+        ++fault_summary_.unrecoverable;
+        run_failed_ = true;
+        fail_reason_ = fault::fault_kind_name(ev.kind) +
+                       (" on unit " + std::to_string(ev.target)) + ": " + note;
+      }
+      break;
+    }
     case fault::DegradeActionKind::kUnrecoverable:
       ++fault_summary_.unrecoverable;
       run_failed_ = true;
@@ -788,6 +847,24 @@ void Cluster::thermal_poll() {
       }
       governor_hold_ = d.hold_cores;
     }
+    update_vault_thermal();
+    if (vault_remap_ != nullptr && !draining_ && !run_failed_) {
+      std::vector<bool> alive(stacked_->num_vaults());
+      for (std::size_t v = 0; v < alive.size(); ++v) {
+        alive[v] = stacked_->vault_alive(v);
+      }
+      const std::optional<dram3d::VaultSwap> swap =
+          vault_remap_->decide(vault_temp_c_, alive, now_);
+      if (swap.has_value()) {
+        draining_ = true;
+        pending_vault_swap_ = swap;
+        drain_begin_ = now_;
+        if (trace_ != nullptr) {
+          trace_->instant("vault_too_hot", trk_dram_, now_, "hot", swap->hot,
+                          "cool", swap->cool);
+        }
+      }
+    }
     // If the transport happens to be idle at the decision boundary the
     // drain is already complete: apply it *now*, in the poll itself.
     // Waiting for a later poll would desynchronise the schedulers — the
@@ -800,6 +877,18 @@ void Cluster::thermal_poll() {
   // 3) Cores are clock-held while draining, while the governor demands a
   //    hold, and through the reprogramming delay after a reconfiguration.
   set_frozen(draining_ || governor_hold_ || now_ < frozen_until_);
+}
+
+void Cluster::update_vault_thermal() {
+  if (stacked_ == nullptr || thermal_ == nullptr) return;
+  const thermal::ThermalFloorplan& flp = thermal_->floorplan();
+  for (std::size_t v = 0; v < vault_temp_c_.size(); ++v) {
+    vault_temp_c_[v] = thermal_->solver().tile_c(flp.vault_tile(v));
+    if (stacked_->vault_alive(v) && vault_temp_c_[v] > peak_vault_c_) {
+      peak_vault_c_ = vault_temp_c_[v];
+      peak_vault_ = v;
+    }
+  }
 }
 
 void Cluster::thermal_sample_interval() {
@@ -898,7 +987,19 @@ thermal::ThermalSources Cluster::thermal_build_sources(
     src.dynamic_w[tile] += icn_pj / n_chan * pj_to_w;
     src.icn_leak_ref_w[tile] += icn_leak_w / n_chan;
   }
-  // DRAM is off-cluster: its energy never enters the stack.
+  if (stacked_ != nullptr) {
+    // Stacked DRAM is *in* the package: each vault's energy delta heats
+    // the stacked-tier tile it is bonded onto (refresh and migration
+    // energy included — they dissipate in the vault too).
+    const std::vector<dram3d::VaultStats>& vs = stacked_->vault_stats();
+    for (std::size_t v = 0; v < vs.size(); ++v) {
+      const double d_pj = vs[v].energy_pj - prev_vault_energy_[v];
+      prev_vault_energy_[v] = vs[v].energy_pj;
+      if (d_pj > 0.0) src.dynamic_w[flp.vault_tile(v)] += d_pj * pj_to_w;
+    }
+  }
+  // The constant-latency DRAM is off-cluster: its energy never enters the
+  // stack.
   return src;
 }
 
@@ -1028,11 +1129,28 @@ SimResult Cluster::collect_result() const {
                         interconnect_->leakage_mw() * static_cast<double>(now_));
   }
 
+  if (stacked_ != nullptr) {
+    r.dram3d.enabled = true;
+    r.dram3d.vaults = stacked_->num_vaults();
+    r.dram3d.alive_vaults = stacked_->alive_vaults();
+    r.dram3d.row_hits = stacked_->stats().page_hits;
+    r.dram3d.row_misses = stacked_->stats().page_misses;
+    r.dram3d.refreshes = stacked_->total_refreshes();
+    r.dram3d.remaps = stacked_->remap_count();
+    r.dram3d.vault_faults = stacked_->vault_fault_count();
+    r.dram3d.remap_enabled = cfg_.vault_remap.enabled;
+    r.dram3d.peak_vault_c = peak_vault_c_;
+    r.dram3d.peak_vault = peak_vault_;
+  }
+
   if (obs_hist_) {
     r.obs.enabled = true;
     r.obs.l2_rt = obs_l2_rt_.digest();
     r.obs.inv_rt = obs_inv_rt_.digest();
     r.obs.dram_service = obs_dram_.digest();
+    for (const obs::LatencyHistogram& h : obs_vault_) {
+      r.obs.dram_vault_service.push_back(h.digest());
+    }
   }
   // The trace rides along only for full-trace runs: flight-recorder rings
   // exist for the watchdog dump and must not alter fault-run reporting.

@@ -22,6 +22,8 @@
 #include "core/reconfig.hpp"
 #include "cpu/barrier.hpp"
 #include "cpu/core.hpp"
+#include "dram3d/stacked_dram.hpp"
+#include "dram3d/vault_remap.hpp"
 #include "fault/degradation.hpp"
 #include "fault/fault_schedule.hpp"
 #include "fault/watchdog.hpp"
@@ -69,6 +71,12 @@ struct ClusterConfig {
   mem::L2Config l2;                     ///< timing/energy filled from CACTI-lite
   mem::DramPreset dram_preset = mem::DramPreset::kDdr3_200ns;
   mem::DramConfig dram;                 ///< latency overridden by the preset
+  /// Memory backend selector: false (default) = the constant-latency
+  /// preset controller; true = the 3-D stacked vault backend (src/dram3d).
+  bool stacked_dram = false;
+  dram3d::Dram3dConfig dram3d;          ///< stacked-backend geometry/timing
+  /// Thermal-aware vault remapping (needs stacked_dram + thermal.enabled).
+  dram3d::VaultRemapConfig vault_remap;
 
   // -- interconnect --
   Fabric fabric = Fabric::kMot;
@@ -155,6 +163,10 @@ struct SimResult {
   /// unrecoverable topology with partial results.
   fault::FaultSummary fault;
 
+  /// Stacked-DRAM trajectory (enabled == false on the constant backend;
+  /// the dram3d_* scenario-JSON fields then stay absent).
+  dram3d::Dram3dSummary dram3d;
+
   /// Observability digests (enabled == false when tracing/metrics were
   /// off; the obs_* scenario-JSON fields then stay absent).
   obs::ObsSummary obs;
@@ -198,7 +210,8 @@ class Cluster {
   Interconnect& interconnect() { return *interconnect_; }
   core::MotInterconnect* mot() { return mot_; }
   mem::L2System& l2() { return *l2_; }
-  mem::DramBackend& dram() { return *dram_; }
+  mem::MemoryBackend& dram() { return *dram_; }
+  dram3d::StackedDram* stacked_dram() { return stacked_; }
   const ClusterConfig& config() const { return cfg_; }
 
   /// Snapshot results so far (run() calls this at completion).
@@ -260,6 +273,10 @@ class Cluster {
   thermal::ThermalSources thermal_build_sources(
       const power::EnergySample& delta, Cycle interval);
 
+  /// Refresh per-vault temperatures from the RC solver after a thermal
+  /// step and track the running peak (no-op without the stacked backend).
+  void update_vault_thermal();
+
   /// Account the final partial interval and stop throttle accounting.
   void thermal_finalize();
 
@@ -307,7 +324,8 @@ class Cluster {
   std::string progress_dump() const;
 
   ClusterConfig cfg_;
-  std::unique_ptr<mem::DramBackend> dram_;
+  std::unique_ptr<mem::MemoryBackend> dram_;
+  dram3d::StackedDram* stacked_ = nullptr;  ///< non-null iff cfg_.stacked_dram
   std::unique_ptr<mem::L2System> l2_;
   std::unique_ptr<coherence::CoherenceDirectory> coh_dir_;  ///< sharing runs
   std::unique_ptr<Interconnect> interconnect_;
@@ -341,6 +359,15 @@ class Cluster {
   Cycle last_thermal_cycle_ = 0;
   bool draining_ = false;                   ///< quiescing for reconfiguration
   std::optional<core::PowerState> drain_target_;
+  /// A thermal vault swap waiting for the same drain (never set together
+  /// with drain_target_: the governor and the remap policy defer to an
+  /// in-flight drain and re-decide at a later boundary).
+  std::optional<dram3d::VaultSwap> pending_vault_swap_;
+  std::unique_ptr<dram3d::VaultRemapPolicy> vault_remap_;
+  std::vector<double> vault_temp_c_;        ///< per-physical-vault, last sample
+  std::vector<double> prev_vault_energy_;   ///< per-vault pJ at last boundary
+  double peak_vault_c_ = 0.0;
+  std::size_t peak_vault_ = 0;
   bool governor_hold_ = false;              ///< governor demands held cores
   Cycle frozen_until_ = 0;                  ///< reprogramming delay after apply
   bool cores_frozen_ = false;
@@ -375,11 +402,13 @@ class Cluster {
   std::unique_ptr<obs::PhaseTimer> phase_timer_;
   power::EnergyLedger obs_ledger_;  ///< refreshed by a prepare hook per sample
   obs::LatencyHistogram obs_l2_rt_, obs_inv_rt_, obs_dram_;
+  std::vector<obs::LatencyHistogram> obs_vault_;  ///< stacked runs only
   bool obs_hist_ = false;           ///< record latency histograms this run
   Cycle next_metrics_cycle_ = kNeverCycle;
   Cycle drain_begin_ = 0;           ///< start cycle of the pending drain
   std::uint32_t trk_governor_ = 0, trk_fabric_ = 0, trk_fault_ = 0;
   std::uint32_t trk_core_base_ = 0, trk_bank_base_ = 0;
+  std::uint32_t trk_dram_ = 0;      ///< "dram vaults" track (stacked runs)
 };
 
 /// Canonical paper setup: Table I architecture + the given knobs.

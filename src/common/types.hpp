@@ -28,6 +28,12 @@ inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 /// Sentinel for invalid core / bank ids.
 inline constexpr std::uint32_t kInvalidId = std::numeric_limits<std::uint32_t>::max();
 
+/// Sentinel for "no DRAM page open" in open-row trackers.  Addr and Cycle
+/// are both uint64_t, so this shares the bit pattern of kNeverCycle, but it
+/// is typed as an address: page trackers must never compare against a time
+/// sentinel.
+inline constexpr Addr kNoOpenPage = std::numeric_limits<Addr>::max();
+
 /// Kind of memory reference issued by a core.
 enum class MemOp : std::uint8_t {
   kInstrFetch,  ///< instruction fetch (L1I)

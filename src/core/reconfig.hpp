@@ -19,7 +19,7 @@
 #include "common/types.hpp"
 #include "core/mot_interconnect.hpp"
 #include "core/power_state.hpp"
-#include "mem/dram.hpp"
+#include "mem/memory_backend.hpp"
 #include "mem/l2_system.hpp"
 
 namespace mot3d::core {
@@ -41,7 +41,7 @@ struct ReconfigCost {
 class ReconfigManager {
  public:
   ReconfigManager(MotInterconnect& interconnect, mem::L2System& l2,
-                  mem::DramBackend& dram)
+                  mem::MemoryBackend& dram)
       : interconnect_(interconnect), l2_(l2), dram_(dram) {}
 
   /// Transition to `next` at time `now`.  Preconditions: the cores are
@@ -64,7 +64,7 @@ class ReconfigManager {
 
   MotInterconnect& interconnect_;
   mem::L2System& l2_;
-  mem::DramBackend& dram_;
+  mem::MemoryBackend& dram_;
   coherence::CoherenceDirectory* dir_ = nullptr;
 };
 

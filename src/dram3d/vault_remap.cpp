@@ -1,0 +1,29 @@
+#include "dram3d/vault_remap.hpp"
+
+namespace mot3d::dram3d {
+
+std::optional<VaultSwap> VaultRemapPolicy::decide(
+    const std::vector<double>& temps, const std::vector<bool>& alive,
+    Cycle now) {
+  if (!cfg_.enabled) return std::nullopt;
+  if (ever_swapped_ && now - last_swap_ < cfg_.cooldown_cycles) {
+    return std::nullopt;
+  }
+
+  std::size_t hot = temps.size(), cool = temps.size();
+  for (std::size_t v = 0; v < temps.size(); ++v) {
+    if (v >= alive.size() || !alive[v]) continue;
+    // Strict comparisons: ties keep the lowest index, deterministically.
+    if (hot == temps.size() || temps[v] > temps[hot]) hot = v;
+    if (cool == temps.size() || temps[v] < temps[cool]) cool = v;
+  }
+  if (hot == temps.size() || hot == cool) return std::nullopt;
+  if (temps[hot] <= cfg_.too_hot_c) return std::nullopt;
+  if (temps[hot] - temps[cool] <= cfg_.min_delta_c) return std::nullopt;
+
+  ever_swapped_ = true;
+  last_swap_ = now;
+  return VaultSwap{hot, cool};
+}
+
+}  // namespace mot3d::dram3d

@@ -2,8 +2,11 @@
 
 namespace mot3d::fault {
 
-DegradationManager::DegradationManager(bool mot_fabric, std::size_t min_banks)
-    : mot_fabric_(mot_fabric), min_banks_(min_banks == 0 ? 1 : min_banks) {}
+DegradationManager::DegradationManager(bool mot_fabric, std::size_t min_banks,
+                                       std::size_t num_vaults)
+    : mot_fabric_(mot_fabric),
+      min_banks_(min_banks == 0 ? 1 : min_banks),
+      num_vaults_(num_vaults) {}
 
 std::optional<core::PowerState> DegradationManager::gate_target(
     const core::PowerState& current, BankId faulted) const {
@@ -42,6 +45,22 @@ DegradeAction DegradationManager::react(const FaultEvent& ev,
     case FaultKind::kDropInvalidate:
       act.kind = DegradeActionKind::kDropInvalidate;
       act.note = "drop-invalidate";
+      return act;
+
+    case FaultKind::kVaultFail:
+      // Vault faults route through the stacked backend's remap machinery;
+      // the constant-latency controller has no vault structure to fall
+      // back on.  Whether a remap target survives is the backend's call
+      // (the cluster converts an impossible remap into "failed").
+      if (num_vaults_ == 0) {
+        act.kind = DegradeActionKind::kUnrecoverable;
+        act.note = "vault " + std::to_string(ev.target) +
+                   " hard-faulted: no stacked-DRAM backend to remap";
+      } else {
+        act.kind = DegradeActionKind::kFailVault;
+        act.note = "vault " + std::to_string(ev.target) +
+                   " hard-faulted: remap traffic onto surviving vaults";
+      }
       return act;
 
     case FaultKind::kRouterFail:

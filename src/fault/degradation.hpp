@@ -36,6 +36,7 @@ enum class DegradeActionKind {
   kGateBanks,       ///< reconfigure to `target` (drain/flush/migrate/remap)
   kThrottleRouter,  ///< serialise a NoC router's output links
   kDropInvalidate,  ///< directed-test message drop (cluster sink handles)
+  kFailVault,       ///< stacked DRAM: remap traffic off the dead vault
   kUnrecoverable,   ///< end the run with a structured "failed" outcome
 };
 
@@ -49,7 +50,10 @@ struct DegradeAction {
 
 class DegradationManager {
  public:
-  DegradationManager(bool mot_fabric, std::size_t min_banks);
+  /// `num_vaults` > 0 enables the stacked-DRAM vault remap path; 0 means
+  /// the constant-latency backend, for which a vault fault is fatal.
+  DegradationManager(bool mot_fabric, std::size_t min_banks,
+                     std::size_t num_vaults = 0);
 
   /// Decide the reaction to `ev` given the fabric's current power state.
   /// `default_penalty_cycles` substitutes for a zero event magnitude.
@@ -65,6 +69,7 @@ class DegradationManager {
  private:
   bool mot_fabric_;
   std::size_t min_banks_;
+  std::size_t num_vaults_;
 };
 
 }  // namespace mot3d::fault

@@ -15,6 +15,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kLinkDegrade: return "link-degrade";
     case FaultKind::kRouterFail: return "router-fail";
     case FaultKind::kDropInvalidate: return "drop-invalidate";
+    case FaultKind::kVaultFail: return "vault-fail";
   }
   return "?";
 }

@@ -26,6 +26,13 @@
 //                   coherence invalidation messages, wedging the issuing
 //                   bank (the watchdog's no-progress detector must catch
 //                   it and turn the hang into a diagnosable failure).
+//   kVaultFail      stacked DRAM: a physical vault hard-faults.  The
+//                   stacked backend remaps its logical vaults onto the
+//                   least-loaded survivor; the constant-latency backend
+//                   (or the last alive vault dying) has no remap target
+//                   and the run ends with a structured failure.  Injected
+//                   through explicit event lists only, never rate-drawn,
+//                   so existing seeded schedules stay byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +50,7 @@ enum class FaultKind {
   kLinkDegrade,
   kRouterFail,
   kDropInvalidate,
+  kVaultFail,
 };
 
 const char* fault_kind_name(FaultKind k);

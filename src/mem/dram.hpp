@@ -14,11 +14,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "common/types.hpp"
+#include "mem/memory_backend.hpp"
 #include "obs/metrics.hpp"
 
 namespace mot3d::mem {
@@ -33,76 +33,44 @@ enum class DramPreset : std::uint8_t {
 double dram_latency_ns(DramPreset preset);
 const char* dram_preset_name(DramPreset preset);
 
-struct DramConfig {
-  double access_latency_ns = 200.0;   ///< request-to-data latency
-  unsigned channel_burst_cycles = 2;  ///< 32 B line over a DDR3-1600 channel
-  unsigned bus_transfer_cycles = 2;   ///< Miss-bus occupancy per transaction
-  std::size_t page_bytes = 4096;      ///< Table I page size
-  bool open_page_policy = false;      ///< row-hit shortcut (off: fixed)
-  double row_hit_fraction_saved = 0.35;
-  std::size_t capacity_bytes = 256ull * 1024 * 1024;  ///< 2 Gb
-  double energy_per_access_pj = 8000.0;  ///< tracked, excluded from EDP
-};
-
-struct DramStats {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  std::uint64_t page_hits = 0;
-  std::uint64_t page_misses = 0;
-  std::uint64_t total_wait_cycles = 0;  ///< queueing before service
-  double dynamic_energy_pj = 0.0;
-};
-
 /// Miss bus + controller, cycle-driven.
 ///
 /// Requesters enqueue (requester id, address, read/write) and — for reads —
 /// receive a completion callback when the line has been fetched.  Writes
 /// (dirty write-backs) are posted: they consume bus and channel bandwidth
 /// but complete silently.
-class DramBackend {
+class DramBackend final : public MemoryBackend {
  public:
-  /// Callback: (requester, addr, completion cycle).
-  using Callback = std::function<void(std::uint32_t, Addr, Cycle)>;
-
   DramBackend(const DramConfig& cfg, std::size_t num_requesters);
 
-  /// Enqueue a line read for `requester`; `cb` fires from tick() on the
-  /// cycle the data is back at the cluster boundary.
-  void read(std::uint32_t requester, Addr addr, Cycle now, Callback cb);
-
-  /// Post a line write-back (no completion callback).
-  void write(std::uint32_t requester, Addr addr, Cycle now);
+  void read(std::uint32_t requester, Addr addr, Cycle now,
+            Callback cb) override;
+  void write(std::uint32_t requester, Addr addr, Cycle now) override;
 
   /// Advance one cycle: run bus arbitration, start channel bursts, fire
   /// completions due at `now`.
-  void tick(Cycle now);
+  void tick(Cycle now) override;
 
-  /// True when no transaction is queued or in flight (used to detect
-  /// end-of-run and reconfiguration drain).
-  bool idle() const;
+  bool idle() const override;
+  Cycle next_event(Cycle now) const override;
 
-  /// Next-event contract (see DESIGN.md): earliest cycle >= `now` at which
-  /// tick() could fire a completion or grant the Miss bus.
-  Cycle next_event(Cycle now) const;
+  const DramStats& stats() const override { return stats_; }
+  const DramConfig& config() const override { return cfg_; }
 
-  const DramStats& stats() const { return stats_; }
-  const DramConfig& config() const { return cfg_; }
-
-  /// Observability: fires once per read grant with the modeled service
-  /// latency (enqueue -> data back at the cluster boundary).  Computed
-  /// from model quantities only, so it is identical in both scheduler
-  /// modes; null (the default) costs one untaken branch per grant.
-  void set_service_observer(std::function<void(Cycle)> obs) {
+  void set_service_observer(std::function<void(Cycle)> obs) override {
     service_obs_ = std::move(obs);
   }
 
-  /// Registers the backend counters under `prefix` (e.g. "dram").
   void register_metrics(obs::MetricsRegistry& m,
-                        const std::string& prefix) const {
+                        const std::string& prefix) const override {
     m.add(prefix + ".reads",
           [this] { return static_cast<double>(stats_.reads); });
     m.add(prefix + ".writes",
           [this] { return static_cast<double>(stats_.writes); });
+    m.add(prefix + ".page_hits",
+          [this] { return static_cast<double>(stats_.page_hits); });
+    m.add(prefix + ".page_misses",
+          [this] { return static_cast<double>(stats_.page_misses); });
     m.add(prefix + ".total_wait_cycles",
           [this] { return static_cast<double>(stats_.total_wait_cycles); });
     m.add(prefix + ".dynamic_energy_pj",
@@ -134,7 +102,7 @@ class DramBackend {
   std::size_t pending_count_ = 0;
   Cycle bus_free_at_ = 0;
   Cycle channel_free_at_ = 0;
-  Addr open_page_ = kNeverCycle;
+  Addr open_page_ = kNoOpenPage;
   std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions_;
   std::size_t in_flight_ = 0;
   DramStats stats_;

@@ -10,7 +10,7 @@
 
 namespace mot3d::mem {
 
-L2System::L2System(const L2Config& cfg, DramBackend& dram, std::uint32_t dram_requester_base)
+L2System::L2System(const L2Config& cfg, MemoryBackend& dram, std::uint32_t dram_requester_base)
     : cfg_(cfg), dram_(dram), dram_base_(dram_requester_base) {
   if (!is_pow2(cfg.total_banks)) {
     throw std::invalid_argument("bank count must be a power of two");

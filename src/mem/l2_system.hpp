@@ -24,7 +24,7 @@
 #include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "mem/cache.hpp"
-#include "mem/dram.hpp"
+#include "mem/memory_backend.hpp"
 #include "obs/metrics.hpp"
 
 namespace mot3d {
@@ -72,7 +72,7 @@ class L2System {
 
   /// `dram_requester_base`: this system uses DRAM requester ids
   /// [base, base + total_banks) on the shared Miss bus.
-  L2System(const L2Config& cfg, DramBackend& dram, std::uint32_t dram_requester_base = 0);
+  L2System(const L2Config& cfg, MemoryBackend& dram, std::uint32_t dram_requester_base = 0);
 
   void set_response_injector(ResponseInjector injector) {
     injector_ = std::move(injector);
@@ -227,7 +227,7 @@ class L2System {
   }
 
   L2Config cfg_;
-  DramBackend& dram_;
+  MemoryBackend& dram_;
   std::uint32_t dram_base_;
   std::vector<Bank> banks_;
   std::vector<bool> active_;

@@ -1,0 +1,91 @@
+// Common interface for the cluster's off-stack memory side.
+//
+// Two implementations exist:
+//   * mem::DramBackend      — the paper's constant-latency Miss-bus model
+//                             with three presets (200/63/42 ns), and
+//   * dram3d::StackedDram   — the vault-parallel 3-D stacked-DRAM backend
+//                             with per-vault FR-FCFS controllers.
+//
+// Everything above the memory boundary (L2 system, reconfiguration drain,
+// cluster scheduling) talks to this interface only.  The contract mirrors
+// every other component: tick(now) performs all work due at `now`,
+// next_event(now) names the earliest cycle >= now at which tick() could do
+// anything, and idle() is the drain predicate.  Virtual dispatch changes no
+// arithmetic, so swapping call sites from DramBackend to MemoryBackend is
+// bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace mot3d::mem {
+
+struct DramConfig {
+  double access_latency_ns = 200.0;   ///< request-to-data latency
+  unsigned channel_burst_cycles = 2;  ///< 32 B line over a DDR3-1600 channel
+  unsigned bus_transfer_cycles = 2;   ///< Miss-bus occupancy per transaction
+  std::size_t page_bytes = 4096;      ///< Table I page size
+  bool open_page_policy = false;      ///< row-hit shortcut (off: fixed)
+  double row_hit_fraction_saved = 0.35;
+  std::size_t capacity_bytes = 256ull * 1024 * 1024;  ///< 2 Gb
+  double energy_per_access_pj = 8000.0;  ///< tracked, excluded from EDP
+};
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t page_hits = 0;
+  std::uint64_t page_misses = 0;
+  std::uint64_t total_wait_cycles = 0;  ///< queueing before service
+  double dynamic_energy_pj = 0.0;
+};
+
+/// Abstract memory backend behind the cluster's miss path.
+class MemoryBackend {
+ public:
+  /// Callback: (requester, addr, completion cycle).
+  using Callback = std::function<void(std::uint32_t, Addr, Cycle)>;
+
+  virtual ~MemoryBackend() = default;
+
+  /// Enqueue a line read for `requester`; `cb` fires from tick() on the
+  /// cycle the data is back at the cluster boundary.
+  virtual void read(std::uint32_t requester, Addr addr, Cycle now,
+                    Callback cb) = 0;
+
+  /// Post a line write-back (no completion callback).
+  virtual void write(std::uint32_t requester, Addr addr, Cycle now) = 0;
+
+  /// Advance to `now`: arbitration, burst starts, completions due at `now`.
+  virtual void tick(Cycle now) = 0;
+
+  /// True when no transaction is queued or in flight (used to detect
+  /// end-of-run and reconfiguration drain).
+  virtual bool idle() const = 0;
+
+  /// Next-event contract (see DESIGN.md): earliest cycle >= `now` at which
+  /// tick() could fire a completion, grant a request, or run a refresh.
+  virtual Cycle next_event(Cycle now) const = 0;
+
+  virtual const DramStats& stats() const = 0;
+
+  /// Timing knobs the reconfiguration planner needs for flush-cost math
+  /// (bus occupancy and channel burst length per written-back line).
+  virtual const DramConfig& config() const = 0;
+
+  /// Observability: fires once per read grant with the modeled service
+  /// latency (enqueue -> data back at the cluster boundary).  Computed
+  /// from model quantities only, so it is identical in both scheduler
+  /// modes; null (the default) costs one untaken branch per grant.
+  virtual void set_service_observer(std::function<void(Cycle)> obs) = 0;
+
+  /// Registers the backend counters under `prefix` (e.g. "dram").
+  virtual void register_metrics(obs::MetricsRegistry& m,
+                                const std::string& prefix) const = 0;
+};
+
+}  // namespace mot3d::mem

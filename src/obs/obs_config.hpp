@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "common/types.hpp"
 #include "obs/latency.hpp"
@@ -34,6 +35,9 @@ struct ObsSummary {
   LatencyDigest l2_rt;         ///< L2 request round-trip (issue -> response)
   LatencyDigest inv_rt;        ///< invalidation round-trip (send -> ack)
   LatencyDigest dram_service;  ///< DRAM enqueue -> completion
+  /// Per-physical-vault service digests (stacked-DRAM runs only; empty for
+  /// the constant-latency backend, so legacy reporting is unchanged).
+  std::vector<LatencyDigest> dram_vault_service;
 };
 
 /// Host wall-seconds attributed to simulator phases (extrapolated from

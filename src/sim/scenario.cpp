@@ -98,6 +98,23 @@ JsonObject run_metrics(const ScenarioRun& run, const cluster::SimResult& r) {
         .set("thermal_leakage_ref_pj", t.leakage_ref_pj)
         .set("thermal_leakage_delta_pj", t.leakage_delta_pj());
   }
+  // Stacked-DRAM fields appear only for stacked-backend runs — every
+  // constant-backend run (all legacy goldens) keeps its exact field set.
+  if (r.dram3d.enabled) {
+    o.set("dram_backend", dram_backend_key(run.dram_backend))
+        .set("dram3d_vaults", static_cast<std::uint64_t>(r.dram3d.vaults))
+        .set("dram3d_alive_vaults",
+             static_cast<std::uint64_t>(r.dram3d.alive_vaults))
+        .set("dram3d_row_hits", r.dram3d.row_hits)
+        .set("dram3d_row_misses", r.dram3d.row_misses)
+        .set("dram3d_refreshes", r.dram3d.refreshes)
+        .set("dram3d_remaps", r.dram3d.remaps)
+        .set("dram3d_vault_faults", r.dram3d.vault_faults)
+        .set("dram3d_remap_enabled", r.dram3d.remap_enabled)
+        .set("dram3d_peak_vault_c", r.dram3d.peak_vault_c)
+        .set("dram3d_peak_vault",
+             static_cast<std::uint64_t>(r.dram3d.peak_vault));
+  }
   // Coherence counters appear only for sharing workloads, so every
   // non-coherent scenario keeps its exact field set.
   if (r.coherence_enabled) {
@@ -131,14 +148,25 @@ JsonObject run_metrics(const ScenarioRun& run, const cluster::SimResult& r) {
     set_obs_digest(o, "obs_l2_rt", r.obs.l2_rt);
     set_obs_digest(o, "obs_inv_rt", r.obs.inv_rt);
     set_obs_digest(o, "obs_dram_service", r.obs.dram_service);
+    for (std::size_t v = 0; v < r.obs.dram_vault_service.size(); ++v) {
+      set_obs_digest(o, "obs_dram_vault" + std::to_string(v) + "_service",
+                     r.obs.dram_vault_service[v]);
+    }
   }
   return o;
 }
 
 /// Stable per-run label for trace processes and metrics rows.
 std::string run_label(const ScenarioRun& run) {
-  return run.app + "/" + fabric_key(run.fabric) + "/" + run.state.name() + "/" +
-         std::to_string(static_cast<int>(mem::dram_latency_ns(run.dram))) + "ns";
+  std::string label = run.app + "/" + fabric_key(run.fabric) + "/" +
+                      run.state.name() + "/" +
+                      std::to_string(static_cast<int>(mem::dram_latency_ns(run.dram))) +
+                      "ns";
+  if (run.dram_backend != DramBackendMode::kConstant) {
+    label += "/";
+    label += dram_backend_key(run.dram_backend);
+  }
+  return label;
 }
 
 bool write_trace_file(const std::string& path, const ScenarioOutcome& out) {
@@ -257,7 +285,8 @@ std::size_t ScenarioSpec::grid_size() const {
   if (kind != Kind::kSweep) return power_states.size();
   return apps.size() * fabrics.size() * power_states.size() * dram_presets.size() *
          std::max<std::size_t>(1, thermal_envelopes.size()) *
-         std::max<std::size_t>(1, fault_envelopes.size());
+         std::max<std::size_t>(1, fault_envelopes.size()) *
+         std::max<std::size_t>(1, dram_backends.size());
 }
 
 std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec, std::size_t* skipped) {
@@ -272,6 +301,11 @@ std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec, std::size_t* skip
       spec.fault_envelopes.empty()
           ? std::vector<fault::FaultEnvelope>{fault::FaultEnvelope{}}
           : spec.fault_envelopes;
+  // And the backend axis: absent means one constant-latency cell.
+  const std::vector<DramBackendMode> backends =
+      spec.dram_backends.empty()
+          ? std::vector<DramBackendMode>{DramBackendMode::kConstant}
+          : spec.dram_backends;
   std::vector<ScenarioRun> runs;
   std::size_t dropped = 0;
   for (const std::string& app : spec.apps) {
@@ -280,11 +314,14 @@ std::vector<ScenarioRun> expand_grid(const ScenarioSpec& spec, std::size_t* skip
         for (mem::DramPreset dram : spec.dram_presets) {
           for (const thermal::ThermalEnvelope& env : envelopes) {
             for (const fault::FaultEnvelope& fenv : fault_envs) {
-              const ScenarioRun run{app, fabric, state, dram, env, fenv};
-              if (run_is_valid(run)) {
-                runs.push_back(run);
-              } else {
-                ++dropped;
+              for (DramBackendMode backend : backends) {
+                const ScenarioRun run{app, fabric, state, dram, env, fenv,
+                                      backend};
+                if (run_is_valid(run)) {
+                  runs.push_back(run);
+                } else {
+                  ++dropped;
+                }
               }
             }
           }
@@ -368,6 +405,11 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioOptions& op
     cfg.scheduler = opt.scheduler;
     cfg.thermal = thermal::ThermalConfig::from_envelope(run.thermal);
     cfg.fault = fault::FaultConfig::from_envelope(run.fault);
+    if (run.dram_backend != DramBackendMode::kConstant) {
+      cfg.stacked_dram = true;
+      cfg.vault_remap.enabled =
+          run.dram_backend == DramBackendMode::kStackedRemap;
+    }
     if (opt.timeout_seconds > 0.0) {
       cfg.watchdog.enabled = true;
       cfg.watchdog.wall_deadline_seconds = opt.timeout_seconds;
@@ -560,6 +602,25 @@ mem::DramPreset dram_preset_by_key(const std::string& key) {
   if (key == "42" || key == "weis3d") return mem::DramPreset::kWeis3d_42ns;
   throw std::invalid_argument("unknown DRAM preset '" + key +
                               "' (want 200|63|42 or ddr3|wideio|weis3d)");
+}
+
+const char* dram_backend_key(DramBackendMode m) {
+  switch (m) {
+    case DramBackendMode::kConstant: return "constant";
+    case DramBackendMode::kStacked: return "stacked";
+    case DramBackendMode::kStackedRemap: return "stacked_remap";
+  }
+  return "?";
+}
+
+DramBackendMode dram_backend_by_key(const std::string& key) {
+  if (key == "constant") return DramBackendMode::kConstant;
+  if (key == "stacked") return DramBackendMode::kStacked;
+  if (key == "stacked_remap" || key == "remap") {
+    return DramBackendMode::kStackedRemap;
+  }
+  throw std::invalid_argument("unknown DRAM backend '" + key +
+                              "' (want constant|stacked|stacked_remap)");
 }
 
 }  // namespace mot3d::sim

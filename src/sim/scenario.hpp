@@ -33,6 +33,16 @@ namespace mot3d::sim {
 struct ScenarioOutcome;
 struct ScenarioSpec;
 
+/// DRAM backend axis: the constant-latency controller the paper evaluates
+/// (kConstant, the default — every legacy scenario), the 3-D stacked
+/// vault-parallel backend (kStacked), and the same with thermal vault
+/// remapping engaged (kStackedRemap).
+enum class DramBackendMode : std::uint8_t {
+  kConstant,
+  kStacked,
+  kStackedRemap,
+};
+
 /// Run-time knobs resolved from the command line (or golden defaults).
 struct ScenarioOptions {
   double scale = 0.5;
@@ -65,7 +75,7 @@ struct ScenarioSpec {
   Kind kind = Kind::kSweep;
 
   // -- sweep grid (kSweep; expansion order: apps > fabrics > states > dram
-  //    > thermal envelopes > fault envelopes) --
+  //    > thermal envelopes > fault envelopes > dram backends) --
   std::vector<std::string> apps;
   std::vector<cluster::Fabric> fabrics;
   std::vector<core::PowerState> power_states;
@@ -76,6 +86,9 @@ struct ScenarioSpec {
   /// Fault axis: rate x seed cells (src/fault/).  Empty means one implicit
   /// disabled cell — fault-free sweeps keep byte-identical goldens.
   std::vector<fault::FaultEnvelope> fault_envelopes;
+  /// DRAM backend axis (src/dram3d/).  Empty means one implicit kConstant
+  /// cell — every legacy scenario keeps its exact grid and field set.
+  std::vector<DramBackendMode> dram_backends;
 
   // -- run knobs --
   double default_scale = 0.5;  ///< bench-binary default (--scale overrides)
@@ -103,6 +116,7 @@ struct ScenarioRun {
   mem::DramPreset dram = mem::DramPreset::kDdr3_200ns;
   thermal::ThermalEnvelope thermal;  ///< disabled unless the spec has an axis
   fault::FaultEnvelope fault;        ///< disabled unless the spec has an axis
+  DramBackendMode dram_backend = DramBackendMode::kConstant;
 };
 
 /// Analytic payload of a kTiming scenario, one row per power state.
@@ -200,5 +214,10 @@ core::PowerState power_state_by_name(const std::string& name);
 
 /// "200"/"ddr3", "63"/"wideio", "42"/"weis3d".  Throws on unknown.
 mem::DramPreset dram_preset_by_key(const std::string& key);
+
+/// Short stable keys for the backend axis: "constant", "stacked",
+/// "stacked_remap".
+const char* dram_backend_key(DramBackendMode m);
+DramBackendMode dram_backend_by_key(const std::string& key);  ///< throws
 
 }  // namespace mot3d::sim

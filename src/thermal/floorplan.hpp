@@ -78,6 +78,15 @@ class ThermalFloorplan {
     return tile_index(1 + (b % 2), (b / 2) % columns_);
   }
 
+  /// Tile hosting stacked-DRAM vault `vault` (dram3d backend): vaults
+  /// share the stacked tiers' thermal footprint with the L2 banks — the
+  /// DRAM dies are bonded into the same column grid, so vault heat lands
+  /// on the tier tiles above the matching landing columns, alternating
+  /// tiers exactly like banks do.
+  std::size_t vault_tile(std::size_t vault) const {
+    return tile_index(1 + (vault % 2), (vault / 2) % columns_);
+  }
+
   /// Core-die tiles carrying the MoT channel for an active centre span of
   /// `active_cores` cores and `active_banks` banks: the union of the two
   /// centre-folded fields (the Fig. 5 active-span shrink, thermally).

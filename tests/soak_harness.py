@@ -126,7 +126,78 @@ def smoke_tests(binary):
             ["run", "no_such_scenario"],
             expect_exit="nonzero",
             expect_patterns=[r"error:"]),
-    ]
+        run_test(
+            binary, "describe shows the dram_backend axis",
+            ["describe", "stacked_dram"],
+            expect_patterns=[r"axis dram_backend \(3\):.*constant.*stacked"
+                             r".*stacked_remap"]),
+    ] + stacked_dram_tests(binary)
+
+
+# Stacked cells must carry the full dram3d_* block; constant-backend cells
+# must carry none of it (the field set of legacy runs is golden-pinned).
+REQUIRED_DRAM3D_KEYS = (
+    "dram3d_vaults", "dram3d_alive_vaults", "dram3d_row_hits",
+    "dram3d_row_misses", "dram3d_refreshes", "dram3d_remaps",
+    "dram3d_vault_faults", "dram3d_remap_enabled", "dram3d_peak_vault_c",
+    "dram3d_peak_vault")
+
+
+def check_dram3d_shape(name, path):
+    """Grade the stacked_dram --json report: conditional dram3d_* fields."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return TestResult(name, False, f"unreadable report: {e}")
+    runs = doc.get("metrics", {}).get("runs")
+    if not isinstance(runs, list) or not runs:
+        return TestResult(name, False, "missing or empty metrics.runs")
+    stacked = 0
+    for run in runs:
+        backend = run.get("dram_backend")
+        if backend is None:
+            leaked = [k for k in run if k.startswith("dram3d_")]
+            if leaked:
+                return TestResult(
+                    name, False,
+                    f"constant-backend run leaked {leaked} (field-set drift)")
+            continue
+        stacked += 1
+        for key in REQUIRED_DRAM3D_KEYS:
+            if key not in run:
+                return TestResult(name, False,
+                                  f"{backend} run missing '{key}'")
+        if run["dram3d_row_hits"] + run["dram3d_row_misses"] <= 0:
+            return TestResult(name, False,
+                              f"{backend} run tracked no row activity")
+        if run["dram3d_refreshes"] <= 0:
+            return TestResult(name, False, f"{backend} run never refreshed")
+    if stacked == 0:
+        return TestResult(name, False, "no stacked cells in the report")
+    return TestResult(name, True, f"{stacked} stacked cells ok")
+
+
+def stacked_dram_tests(binary):
+    """Stacked-DRAM scenario contract: shape checks + dram3d_* JSON block."""
+    results = []
+    with tempfile.TemporaryDirectory(prefix="mot3d_dram3d_soak.") as tmp:
+        report = os.path.join(tmp, "stacked.json")
+        results.append(run_test(
+            binary, "stacked DRAM at golden scale",
+            ["run", "stacked_dram", "--golden", f"--json={report}"],
+            expect_patterns=[
+                r"shape check: stacked runs exploit open-row locality: PASS",
+                r"shape check: refresh interference occurred in every "
+                r"stacked run: PASS",
+                r"shape check: vault remap never raises the peak vault "
+                r"temperature: PASS",
+            ],
+            forbid_patterns=[r"error: run"]))
+        if results[-1].success:
+            results.append(check_dram3d_shape(
+                "dram3d_* JSON report shape", report))
+    return results
 
 
 def full_tests(binary):

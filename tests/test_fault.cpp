@@ -299,6 +299,75 @@ TEST(FaultCluster, PacketMeshFailsStructuredOnHardFault) {
       << r.fault.fail_reason;
 }
 
+// ---- stacked-DRAM vault faults ---------------------------------------------
+
+TEST(DegradationManager, VaultFaultNeedsAStackedBackend) {
+  // Constant-latency backend (num_vaults == 0): nothing to remap onto.
+  const DegradationManager flat(true, 8, 0);
+  DegradeAction act =
+      flat.react({100, FaultKind::kVaultFail, 3, 0}, core::PowerState::full(), 2);
+  EXPECT_EQ(act.kind, DegradeActionKind::kUnrecoverable);
+  EXPECT_NE(act.note.find("no stacked-DRAM backend"), std::string::npos);
+
+  // Stacked backend present: route to the vault remap machinery.
+  const DegradationManager stacked(true, 8, 8);
+  act = stacked.react({100, FaultKind::kVaultFail, 3, 0},
+                      core::PowerState::full(), 2);
+  EXPECT_EQ(act.kind, DegradeActionKind::kFailVault);
+  EXPECT_EQ(act.unit, 3u);
+}
+
+TEST(FaultCluster, VaultFaultRemapsOntoSurvivorsAndDegrades) {
+  for (cluster::SchedulerMode mode : {cluster::SchedulerMode::kEventDriven,
+                                      cluster::SchedulerMode::kDenseTick}) {
+    cluster::ClusterConfig cfg = paper_cfg("fft", cluster::Fabric::kMot);
+    cfg.scheduler = mode;
+    cfg.stacked_dram = true;
+    cfg.fault.enabled = true;
+    cfg.fault.events = {{500, FaultKind::kVaultFail, 2, 0}};
+    const cluster::SimResult r = cluster::Cluster(cfg).run();
+    EXPECT_EQ(r.fault.outcome, "degraded");
+    EXPECT_EQ(r.fault.injected, 1u);
+    EXPECT_EQ(r.fault.recovered, 1u);
+    EXPECT_EQ(r.fault.unrecoverable, 0u);
+    EXPECT_GT(r.fault.repair_energy_pj, 0.0);
+    EXPECT_TRUE(r.dram3d.enabled);
+    EXPECT_EQ(r.dram3d.vault_faults, 1u);
+    EXPECT_EQ(r.dram3d.alive_vaults, r.dram3d.vaults - 1);
+    EXPECT_GT(r.instructions, 0u);  // the run completed on surviving vaults
+  }
+}
+
+TEST(FaultCluster, VaultFaultOnConstantBackendFailsStructured) {
+  cluster::ClusterConfig cfg = paper_cfg("fft", cluster::Fabric::kMot);
+  cfg.fault.enabled = true;
+  cfg.fault.events = {{500, FaultKind::kVaultFail, 2, 0}};
+  const cluster::SimResult r = cluster::Cluster(cfg).run();
+  EXPECT_EQ(r.fault.outcome, "failed");
+  EXPECT_EQ(r.fault.unrecoverable, 1u);
+  EXPECT_NE(r.fault.fail_reason.find("no stacked-DRAM backend"),
+            std::string::npos)
+      << r.fault.fail_reason;
+  EXPECT_LE(r.cycles, 501u);  // ended at the fault, not at app completion
+}
+
+TEST(FaultCluster, LastAliveVaultFaultFailsStructured) {
+  cluster::ClusterConfig cfg = paper_cfg("fft", cluster::Fabric::kMot);
+  cfg.stacked_dram = true;
+  cfg.dram3d.num_vaults = 2;
+  cfg.fault.enabled = true;
+  cfg.fault.events = {{300, FaultKind::kVaultFail, 0, 0},
+                      {600, FaultKind::kVaultFail, 1, 0}};
+  const cluster::SimResult r = cluster::Cluster(cfg).run();
+  // The first fault remaps onto the survivor; the second has no target.
+  EXPECT_EQ(r.fault.outcome, "failed");
+  EXPECT_EQ(r.fault.recovered, 1u);
+  EXPECT_EQ(r.fault.unrecoverable, 1u);
+  EXPECT_NE(r.fault.fail_reason.find("last alive vault"), std::string::npos)
+      << r.fault.fail_reason;
+  EXPECT_EQ(r.dram3d.alive_vaults, 1u);
+}
+
 // ---- the directed no-progress wedge ----------------------------------------
 
 TEST(FaultCluster, WatchdogCatchesNeverAckedInvalidationWedge) {

@@ -77,7 +77,8 @@ TEST(ScenarioRegistry, AllFigureAndTableScenariosRegistered) {
        {"table1_config", "fig5_wire_lengths", "fig6a_l2_latency",
         "fig6b_exec_time", "fig7a_edp_200ns", "fig7b_exec_time_states",
         "fig8a_edp_63ns", "fig8b_edp_42ns", "thermal_envelope",
-        "coherence_sharing", "fault_resilience", "scale_smoke"}) {
+        "coherence_sharing", "fault_resilience", "scale_smoke",
+        "stacked_dram"}) {
     const ScenarioSpec* spec = find_scenario(name);
     ASSERT_NE(spec, nullptr) << name;
     EXPECT_TRUE(spec->has_golden) << name;
@@ -88,7 +89,7 @@ TEST(ScenarioRegistry, AllFigureAndTableScenariosRegistered) {
     EXPECT_EQ(spec->kind, ScenarioSpec::Kind::kCustom) << name;
     EXPECT_FALSE(spec->has_golden) << name;
   }
-  EXPECT_EQ(all_scenarios().size(), 15u);
+  EXPECT_EQ(all_scenarios().size(), 16u);
   EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
 }
 

@@ -260,6 +260,64 @@ TEST(ObsCluster, TraceCountsMatchStatsAggregatesDenseTick) {
   expect_trace_matches_stats(cluster::SchedulerMode::kDenseTick);
 }
 
+// Satellite cross-check, DRAM leg: the final metrics-registry sample of
+// every "dram.*" counter equals the corresponding stats aggregate — the
+// probes read the same model state, not a parallel accounting.
+double final_metric(const cluster::SimResult& r, const std::string& name) {
+  const std::size_t last = r.metrics->sample_count() - 1;
+  for (std::size_t i = 0; i < r.metrics->counter_count(); ++i) {
+    if (r.metrics->counter_name(i) == name) return r.metrics->value(i, last);
+  }
+  ADD_FAILURE() << "no metrics counter named " << name;
+  return -1.0;
+}
+
+TEST(ObsCluster, DramMetricsCountersMatchStatsAggregates) {
+  cluster::ClusterConfig cfg =
+      paper_cfg("fft", cluster::Fabric::kMot,
+                cluster::SchedulerMode::kEventDriven);
+  cfg.obs.metrics = true;
+  cfg.dram.open_page_policy = true;  // nonzero page_hits/page_misses
+  const cluster::SimResult r = cluster::Cluster(cfg).run();
+  ASSERT_NE(r.metrics, nullptr);
+  ASSERT_GT(r.metrics->sample_count(), 0u);
+
+  EXPECT_EQ(final_metric(r, "dram.reads"), static_cast<double>(r.dram.reads));
+  EXPECT_EQ(final_metric(r, "dram.writes"), static_cast<double>(r.dram.writes));
+  EXPECT_EQ(final_metric(r, "dram.page_hits"),
+            static_cast<double>(r.dram.page_hits));
+  EXPECT_EQ(final_metric(r, "dram.page_misses"),
+            static_cast<double>(r.dram.page_misses));
+  EXPECT_EQ(final_metric(r, "dram.total_wait_cycles"),
+            static_cast<double>(r.dram.total_wait_cycles));
+  EXPECT_GT(r.dram.page_hits + r.dram.page_misses, 0u);
+  // Every tracked access is either a row hit or a row miss.
+  EXPECT_EQ(r.dram.page_hits + r.dram.page_misses, r.dram.reads);
+}
+
+TEST(ObsCluster, StackedDramVaultMetricsSumToBackendStats) {
+  cluster::ClusterConfig cfg =
+      paper_cfg("fft", cluster::Fabric::kMot,
+                cluster::SchedulerMode::kEventDriven);
+  cfg.obs.metrics = true;
+  cfg.stacked_dram = true;
+  const cluster::SimResult r = cluster::Cluster(cfg).run();
+  ASSERT_NE(r.metrics, nullptr);
+
+  EXPECT_EQ(final_metric(r, "dram.page_hits"),
+            static_cast<double>(r.dram.page_hits));
+  EXPECT_EQ(final_metric(r, "dram.page_misses"),
+            static_cast<double>(r.dram.page_misses));
+  double vault_accesses = 0.0, vault_row_hits = 0.0;
+  for (std::size_t v = 0; v < r.dram3d.vaults; ++v) {
+    const std::string vp = "dram.vault" + std::to_string(v);
+    vault_accesses += final_metric(r, vp + ".accesses");
+    vault_row_hits += final_metric(r, vp + ".row_hits");
+  }
+  EXPECT_EQ(vault_accesses, static_cast<double>(r.dram.reads + r.dram.writes));
+  EXPECT_EQ(vault_row_hits, static_cast<double>(r.dram3d.row_hits));
+}
+
 // The tentpole differential: the serialised trace and metrics documents —
 // not just the aggregate counters — are bit-identical between schedulers.
 void expect_obs_documents_identical(cluster::ClusterConfig cfg) {

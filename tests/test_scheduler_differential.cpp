@@ -206,6 +206,23 @@ TEST(SchedulerDifferential, ColdInstructionCachesExerciseIFetchPath) {
   expect_same_result(Cluster(dense).run(), Cluster(event).run());
 }
 
+// Open-page policy changes per-access service latency based on row-buffer
+// state; both schedulers must observe identical hit/miss sequences.
+TEST(SchedulerDifferential, OpenPagePolicyBitIdentical) {
+  ClusterConfig dense = cfg_for("fft", Fabric::kMot, core::PowerState::full(),
+                                mem::DramPreset::kDdr3_200ns,
+                                SchedulerMode::kDenseTick);
+  dense.dram.open_page_policy = true;
+  ClusterConfig event = dense;
+  event.scheduler = SchedulerMode::kEventDriven;
+  const SimResult d = Cluster(dense).run();
+  const SimResult e = Cluster(event).run();
+  expect_same_result(d, e);
+  EXPECT_EQ(d.dram.page_hits, e.dram.page_hits);
+  EXPECT_EQ(d.dram.page_misses, e.dram.page_misses);
+  EXPECT_GT(d.dram.page_hits + d.dram.page_misses, 0u);
+}
+
 TEST(SchedulerDifferential, EventModeIsTheDefault) {
   EXPECT_EQ(ClusterConfig{}.scheduler, SchedulerMode::kEventDriven);
   EXPECT_STREQ(scheduler_name(SchedulerMode::kEventDriven), "event");
