@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/json_reader.hpp"
 #include "sim/perf_report.hpp"
 #include "sim/scenario.hpp"
 #include "workload/app_profile.hpp"
@@ -53,6 +54,8 @@ namespace {
 
 using mot3d::sim::JsonArray;
 using mot3d::sim::JsonObject;
+using mot3d::sim::JsonReader;
+using mot3d::sim::JsonValue;
 
 constexpr double kDefaultTolerance = 0.5;
 constexpr double kDefaultScale = 0.02;
@@ -191,175 +194,6 @@ Options parse_options(int argc, char** argv) {
   }
   return opt;
 }
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader for the baseline file.  Only the subset our own
-// writer emits (objects, arrays, strings, numbers, bools, null) — anything
-// else is malformed and maps to exit code 3.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(std::string text) : text_(std::move(text)) {}
-
-  std::optional<JsonValue> parse() {
-    JsonValue v;
-    skip_ws();
-    if (!parse_value(v)) return std::nullopt;
-    skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing junk
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool literal(const char* lit) {
-    const std::size_t n = std::string(lit).size();
-    if (text_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool parse_value(JsonValue& out) {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return parse_object(out);
-      case '[': return parse_array(out);
-      case '"':
-        out.type = JsonValue::Type::kString;
-        return parse_string(out.string);
-      case 't':
-        out.type = JsonValue::Type::kBool;
-        out.boolean = true;
-        return literal("true");
-      case 'f':
-        out.type = JsonValue::Type::kBool;
-        out.boolean = false;
-        return literal("false");
-      case 'n':
-        out.type = JsonValue::Type::kNull;
-        return literal("null");
-      default: return parse_number(out);
-    }
-  }
-
-  bool parse_object(JsonValue& out) {
-    out.type = JsonValue::Type::kObject;
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!parse_string(key)) return false;
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
-      ++pos_;
-      skip_ws();
-      JsonValue v;
-      if (!parse_value(v)) return false;
-      out.object.emplace_back(std::move(key), std::move(v));
-      skip_ws();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') { ++pos_; continue; }
-      if (text_[pos_] == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool parse_array(JsonValue& out) {
-    out.type = JsonValue::Type::kArray;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
-    while (true) {
-      skip_ws();
-      JsonValue v;
-      if (!parse_value(v)) return false;
-      out.array.push_back(std::move(v));
-      skip_ws();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') { ++pos_; continue; }
-      if (text_[pos_] == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool parse_string(std::string& out) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
-    ++pos_;
-    out.clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          default: return false;  // \uXXXX never appears in our writer
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-    return false;
-  }
-
-  bool parse_number(JsonValue& out) {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    try {
-      std::size_t used = 0;
-      const std::string tok = text_.substr(start, pos_ - start);
-      out.number = std::stod(tok, &used);
-      if (used != tok.size()) return false;
-    } catch (const std::exception&) {
-      return false;
-    }
-    out.type = JsonValue::Type::kNumber;
-    return true;
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
 
 // ---------------------------------------------------------------------------
 // Grid execution

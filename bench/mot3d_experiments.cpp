@@ -36,6 +36,7 @@
 
 #include "common/table.hpp"
 #include "harness.hpp"
+#include "sim/sweep_service.hpp"
 
 namespace {
 
@@ -54,13 +55,21 @@ void print_cli_usage(std::ostream& os) {
      << "  grid [axes] [flags]         run an ad-hoc grid\n"
      << "  update-golden [name...]     regenerate golden baselines\n"
      << "  check-golden [name...]      re-run and diff against baselines\n"
+     << "  serve --cache-dir=<path>    cache-backed request/response daemon\n"
+     << "  batch --cache-dir=<path>    drain NDJSON requests (stdin or\n"
+     << "                              --requests=<file>) through the cache\n"
+     << "  cache stats|clear --cache-dir=<path>   inspect / empty the cache\n"
      << "flags: --scale=<d> --seed=<u64> --threads=<n> --json=<path>\n"
      << "       --scheduler=event|dense --timeout=<seconds> --golden\n"
      << "       --trace=<path> --metrics=<path>\n"
      << "grid axes: --apps=a,b --fabrics=mot,mesh3d,busmesh,bustree\n"
      << "           --states=Full,PC4-MB8,... --dram=200,63,42\n"
      << "update-golden/check-golden: --dir=<path> (default: " MOT3D_SOURCE_DIR
-        "/tests/golden)\n";
+        "/tests/golden)\n"
+     << "serve/batch: --cache-dir=<path> [--threads=<n>]\n"
+     << "             [--scheduler=event|dense] [--max-cache-bytes=<n>]\n"
+     << "             [--requests=<file>]  (scale/seed/timeout are\n"
+     << "             per-request JSON fields, not flags)\n";
 }
 
 std::vector<std::string> split_csv(const std::string& flag, const std::string& v) {
@@ -191,14 +200,33 @@ struct CliArgs {
   std::vector<std::string> dram;
   std::string golden_dir = MOT3D_SOURCE_DIR "/tests/golden";
   bool use_golden_options = false;
+  // serve/batch/cache flags (CliFlagSet::service)
+  std::string cache_dir;
+  std::string requests_path;
+  std::uint64_t max_cache_bytes = 0;
+  unsigned threads = 0;
+  cluster::SchedulerMode scheduler = cluster::SchedulerMode::kEventDriven;
 };
 
 /// Which CLI-only flags a subcommand understands.
 struct CliFlagSet {
-  bool axes = false;    ///< --apps/--fabrics/--states/--dram  (grid)
-  bool golden = false;  ///< --golden                          (run)
-  bool dir = false;     ///< --dir                             (update-golden)
+  bool axes = false;     ///< --apps/--fabrics/--states/--dram  (grid)
+  bool golden = false;   ///< --golden                          (run)
+  bool dir = false;      ///< --dir                             (update-golden)
+  bool service = false;  ///< --cache-dir/--requests/...        (serve/batch)
 };
+
+std::uint64_t parse_u64_flag(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t out = std::stoull(v, &used);
+    if (used != v.size() || v.empty()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("malformed value in '" + flag +
+                                "' (want a non-negative integer)");
+  }
+}
 
 CliArgs parse_cli(int argc, char** argv, int first, const CliFlagSet& allow) {
   CliArgs out;
@@ -214,6 +242,24 @@ CliArgs parse_cli(int argc, char** argv, int first, const CliFlagSet& allow) {
       out.dram = split_csv(arg, arg.substr(7));
     } else if (allow.dir && arg.rfind("--dir=", 0) == 0) {
       out.golden_dir = arg.substr(6);
+    } else if (allow.service && arg.rfind("--cache-dir=", 0) == 0) {
+      out.cache_dir = arg.substr(12);
+    } else if (allow.service && arg.rfind("--requests=", 0) == 0) {
+      out.requests_path = arg.substr(11);
+    } else if (allow.service && arg.rfind("--max-cache-bytes=", 0) == 0) {
+      out.max_cache_bytes = parse_u64_flag(arg, arg.substr(18));
+    } else if (allow.service && arg.rfind("--threads=", 0) == 0) {
+      out.threads = static_cast<unsigned>(parse_u64_flag(arg, arg.substr(10)));
+    } else if (allow.service && arg.rfind("--scheduler=", 0) == 0) {
+      const std::string mode = arg.substr(12);
+      if (mode == "event") {
+        out.scheduler = cluster::SchedulerMode::kEventDriven;
+      } else if (mode == "dense") {
+        out.scheduler = cluster::SchedulerMode::kDenseTick;
+      } else {
+        throw std::invalid_argument("unknown scheduler '" + mode +
+                                    "' (want event|dense)");
+      }
     } else if (allow.golden && arg == "--golden") {
       out.use_golden_options = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -468,6 +514,79 @@ int cmd_check_golden(const CliArgs& cli) {
   return 0;
 }
 
+/// `serve` / `batch` — the sweep service (src/sim/sweep_service.hpp).
+/// Modeled inputs (scale, seed, timeout) are per-request JSON fields, so
+/// every run flag is rejected loudly: a --scale here would silently skew
+/// what the cache memoizes.
+int cmd_service(const CliArgs& cli, sim::ServiceLoopMode mode) {
+  const char* verb = mode == sim::ServiceLoopMode::kServe ? "serve" : "batch";
+  if (!cli.names.empty()) {
+    std::cerr << "error: " << verb << " takes flags only (got '"
+              << cli.names.front() << "')\n";
+    return 2;
+  }
+  if (!cli.bench_args.empty()) {
+    std::cerr << "error: " << verb << " takes no run flags (got '"
+              << cli.bench_args.front()
+              << "'); scale/seed/timeout_seconds are per-request fields\n";
+    return 2;
+  }
+  if (cli.cache_dir.empty()) {
+    std::cerr << "error: " << verb << " needs --cache-dir=<path>\n";
+    return 2;
+  }
+  sim::ServiceConfig cfg;
+  cfg.cache_dir = cli.cache_dir;
+  cfg.threads = cli.threads;
+  cfg.scheduler = cli.scheduler;
+  cfg.max_cache_bytes = cli.max_cache_bytes;
+  sim::SweepService service(cfg);  // throws on unwritable cache dir
+  if (!cli.requests_path.empty()) {
+    std::ifstream f(cli.requests_path, std::ios::binary);
+    if (!f) {
+      std::cerr << "error: cannot read requests file '" << cli.requests_path
+                << "'\n";
+      return 2;
+    }
+    return sim::service_loop(f, std::cout, service, mode);
+  }
+  return sim::service_loop(std::cin, std::cout, service, mode);
+}
+
+/// `cache stats` / `cache clear` — one JSON line each, so scripts can gate
+/// on the cache without scraping tables.
+int cmd_cache(const CliArgs& cli) {
+  if (cli.names.size() != 1 ||
+      (cli.names.front() != "stats" && cli.names.front() != "clear")) {
+    std::cerr << "error: cache takes one verb: stats|clear\n";
+    return 2;
+  }
+  if (!cli.bench_args.empty()) {
+    std::cerr << "error: cache " << cli.names.front()
+              << " takes no run flags (got '" << cli.bench_args.front()
+              << "')\n";
+    return 2;
+  }
+  if (cli.cache_dir.empty()) {
+    std::cerr << "error: cache " << cli.names.front()
+              << " needs --cache-dir=<path>\n";
+    return 2;
+  }
+  sim::ServiceConfig cfg;
+  cfg.cache_dir = cli.cache_dir;
+  sim::SweepService service(cfg);  // throws on unwritable cache dir
+  sim::JsonObject o;
+  o.set("cache_dir", cfg.cache_dir);
+  if (cli.names.front() == "stats") {
+    const sim::CacheStats stats = service.cache_stats();
+    o.set("entries", stats.entries).set("bytes", stats.bytes);
+  } else {
+    o.set("removed", static_cast<std::uint64_t>(service.cache_clear()));
+  }
+  std::cout << o.str() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -501,6 +620,17 @@ int main(int argc, char** argv) {
     }
     if (cmd == "check-golden") {
       return cmd_check_golden(parse_cli(argc, argv, 2, {.dir = true}));
+    }
+    if (cmd == "serve") {
+      return cmd_service(parse_cli(argc, argv, 2, {.service = true}),
+                         sim::ServiceLoopMode::kServe);
+    }
+    if (cmd == "batch") {
+      return cmd_service(parse_cli(argc, argv, 2, {.service = true}),
+                         sim::ServiceLoopMode::kBatch);
+    }
+    if (cmd == "cache") {
+      return cmd_cache(parse_cli(argc, argv, 2, {.service = true}));
     }
   } catch (const std::invalid_argument& e) {
     // Malformed CLI-level flag values (e.g. an empty axis list).

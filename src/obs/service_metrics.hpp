@@ -1,0 +1,75 @@
+// service.* metrics probes for the sweep service (src/sim/sweep_service).
+//
+// The sweep service is host-side infrastructure, not simulated hardware,
+// so its counters are NOT part of the per-run MetricsRegistry time series
+// (those sample simulated-cycle epochs).  Instead they are lock-free
+// atomics incremented on cache-resolution events and snapshotted on
+// demand — the `cache stats` subcommand and the serve-mode `stats`
+// request serialise them under the same dotted "service.*" names the
+// rest of the observability layer uses, and the concurrency tests
+// cross-check them against per-response provenance fields.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mot3d::obs {
+
+/// One snapshot of every service counter (plain values, safe to copy).
+struct ServiceSnapshot {
+  std::uint64_t hits = 0;             ///< jobs served without computing
+  std::uint64_t misses = 0;           ///< jobs this service computed
+  std::uint64_t computed = 0;         ///< cluster simulations actually run
+  std::uint64_t evictions = 0;        ///< cache entries removed by the cap
+  std::uint64_t corrupt_entries = 0;  ///< truncated/hash-mismatched loads
+  std::uint64_t job_errors = 0;       ///< jobs that failed (never cached)
+  std::uint64_t protocol_errors = 0;  ///< malformed request lines
+  std::uint64_t requests = 0;         ///< request lines accepted
+  std::int64_t queue_depth = 0;       ///< jobs claimed but not yet published
+};
+
+/// Thread-safe counters; every field matches a ServiceSnapshot field.
+class ServiceCounters {
+ public:
+  void add_hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void add_miss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  void add_computed() { computed_.fetch_add(1, std::memory_order_relaxed); }
+  void add_evictions(std::uint64_t n) {
+    evictions_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_corrupt() { corrupt_.fetch_add(1, std::memory_order_relaxed); }
+  void add_job_error() { job_errors_.fetch_add(1, std::memory_order_relaxed); }
+  void add_protocol_error() {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_request() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void enqueue() { queue_depth_.fetch_add(1, std::memory_order_relaxed); }
+  void dequeue() { queue_depth_.fetch_sub(1, std::memory_order_relaxed); }
+
+  ServiceSnapshot snapshot() const {
+    ServiceSnapshot s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.computed = computed_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.corrupt_entries = corrupt_.load(std::memory_order_relaxed);
+    s.job_errors = job_errors_.load(std::memory_order_relaxed);
+    s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> computed_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> job_errors_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::int64_t> queue_depth_{0};
+};
+
+}  // namespace mot3d::obs

@@ -1,0 +1,56 @@
+// Minimal JSON reader — the parsing twin of the JsonObject/JsonArray
+// writer in sim/perf_report.hpp.
+//
+// Promoted out of bench_scale.cpp (where it parsed BENCH_*.json perf
+// baselines) so the sweep service can parse newline-delimited request
+// documents with the same code.  Deliberately supports only the subset
+// our own writer emits — objects, arrays, strings, numbers, bools, null;
+// no \uXXXX escapes — anything else is malformed input and parses to
+// std::nullopt, never a guess.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mot3d::sim {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : text_(std::move(text)) {}
+
+  /// Whole-document parse: trailing junk is malformed (std::nullopt).
+  std::optional<JsonValue> parse();
+
+ private:
+  void skip_ws();
+  bool literal(const char* lit);
+  bool parse_value(JsonValue& out);
+  bool parse_object(JsonValue& out);
+  bool parse_array(JsonValue& out);
+  bool parse_string(std::string& out);
+  bool parse_number(JsonValue& out);
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mot3d::sim

@@ -399,24 +399,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioOptions& op
   std::vector<SweepRunner::Task> tasks;
   tasks.reserve(out.runs.size());
   for (const ScenarioRun& run : out.runs) {
-    cluster::ClusterConfig cfg = cluster::make_paper_config(
-        workload::profile_by_name(run.app), run.fabric, run.state, run.dram,
-        opt.scale, opt.seed);
-    cfg.scheduler = opt.scheduler;
-    cfg.thermal = thermal::ThermalConfig::from_envelope(run.thermal);
-    cfg.fault = fault::FaultConfig::from_envelope(run.fault);
-    if (run.dram_backend != DramBackendMode::kConstant) {
-      cfg.stacked_dram = true;
-      cfg.vault_remap.enabled =
-          run.dram_backend == DramBackendMode::kStackedRemap;
-    }
-    if (opt.timeout_seconds > 0.0) {
-      cfg.watchdog.enabled = true;
-      cfg.watchdog.wall_deadline_seconds = opt.timeout_seconds;
-    }
-    cfg.obs.trace = !opt.trace_path.empty();
-    cfg.obs.metrics = !opt.metrics_path.empty();
-    cfg.obs.phase_timing = opt.phase_timing;
+    const cluster::ClusterConfig cfg = make_run_config(run, opt);
     tasks.push_back([cfg] { return cluster::Cluster(cfg).run(); });
   }
   // Isolated execution: one wedged or timed-out run becomes that run's
@@ -430,6 +413,32 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioOptions& op
   }
   out.telemetry = runner.telemetry();
   return out;
+}
+
+cluster::ClusterConfig make_run_config(const ScenarioRun& run,
+                                       const ScenarioOptions& opt) {
+  cluster::ClusterConfig cfg = cluster::make_paper_config(
+      workload::profile_by_name(run.app), run.fabric, run.state, run.dram,
+      opt.scale, opt.seed);
+  cfg.scheduler = opt.scheduler;
+  cfg.thermal = thermal::ThermalConfig::from_envelope(run.thermal);
+  cfg.fault = fault::FaultConfig::from_envelope(run.fault);
+  if (run.dram_backend != DramBackendMode::kConstant) {
+    cfg.stacked_dram = true;
+    cfg.vault_remap.enabled = run.dram_backend == DramBackendMode::kStackedRemap;
+  }
+  if (opt.timeout_seconds > 0.0) {
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.wall_deadline_seconds = opt.timeout_seconds;
+  }
+  cfg.obs.trace = !opt.trace_path.empty();
+  cfg.obs.metrics = !opt.metrics_path.empty();
+  cfg.obs.phase_timing = opt.phase_timing;
+  return cfg;
+}
+
+std::string run_metrics_json(const ScenarioRun& run, const cluster::SimResult& r) {
+  return run_metrics(run, r).str();
 }
 
 std::string scenario_metrics_json(const ScenarioOutcome& outcome) {

@@ -185,6 +185,17 @@ const char* invalid_cell_reason();
 /// run_and_present, which dispatches to their body).
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, const ScenarioOptions& opt);
 
+/// The ClusterConfig for one grid cell under the given options — the single
+/// translation the scenario engine and the sweep service both run jobs
+/// through, so a memoized run is configured exactly like a swept one.
+cluster::ClusterConfig make_run_config(const ScenarioRun& run,
+                                       const ScenarioOptions& opt);
+
+/// Canonical modeled-metrics JSON for ONE run — one element of the "runs"
+/// array in scenario_metrics_json, and the byte-stable payload the sweep
+/// service caches (a cache hit must be bit-identical to recomputation).
+std::string run_metrics_json(const ScenarioRun& run, const cluster::SimResult& r);
+
 /// Canonical modeled-metrics JSON — the golden-baseline format.  Contains
 /// only deterministic modeled quantities (no wall-clock telemetry); equal
 /// for kEventDriven and kDenseTick by the scheduler-equivalence contract.

@@ -26,6 +26,11 @@ Usage:
              scenario, parse the Chrome-trace and interval-metrics
              documents, and check track names, required keys, and
              per-track timestamp monotonicity
+  --serve    also exercise the sweep-service contract: cold/warm batch
+             determinism over a pipe, an interactive serve session with
+             request/response round trips (the watchdog converting a
+             wedged job into a structured error), and the
+             unwritable-cache-dir error path
 """
 
 import argparse
@@ -35,6 +40,7 @@ import re
 import subprocess
 import sys
 import tempfile
+import threading
 
 TIMEOUT = 300  # seconds per subprocess: generous, but deadlocks must die
 
@@ -46,21 +52,22 @@ class TestResult:
         self.details = details
 
 
-def run_cmd(binary, args):
+def run_cmd(binary, args, input_text=None):
     cmd = [binary] + args
     print(f"  command: {' '.join(cmd)}")
-    return subprocess.run(cmd, capture_output=True, text=True, timeout=TIMEOUT)
+    return subprocess.run(cmd, capture_output=True, text=True, timeout=TIMEOUT,
+                          input=input_text)
 
 
 def run_test(binary, name, args, expect_exit=0, expect_patterns=(),
-             forbid_patterns=()):
+             forbid_patterns=(), input_text=None):
     """Run one CLI invocation and grade exit code + output regexes.
 
     `expect_exit` is an exact code, or "nonzero" for any failure exit.
     """
     print(f"Running: {name}...")
     try:
-        result = run_cmd(binary, args)
+        result = run_cmd(binary, args, input_text)
     except subprocess.TimeoutExpired:
         return TestResult(name, False,
                           f"timeout after {TIMEOUT}s (possible deadlock)")
@@ -459,6 +466,137 @@ def obs_tests(binary):
     return results
 
 
+
+def serve_session(binary, cache_dir):
+    """One interactive serve session: ready line, request/response round
+    trips, a wedged job converted to a structured error by the watchdog,
+    counter cross-check, clean shutdown — all under a hard kill timer so a
+    wedged server fails the harness instead of hanging it."""
+    name = "serve session round-trips requests and shuts down cleanly"
+    print(f"Running: {name}...")
+    proc = subprocess.Popen(
+        [binary, "serve", f"--cache-dir={cache_dir}"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, bufsize=1)
+    killer = threading.Timer(TIMEOUT, proc.kill)
+    killer.start()
+
+    def readline():
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError("server closed stdout early")
+        return json.loads(line)
+
+    def send(doc):
+        proc.stdin.write(json.dumps(doc) + "\n")
+        proc.stdin.flush()
+
+    try:
+        ready = readline()
+        if not ready.get("ready"):
+            return TestResult(name, False, f"no ready line: {ready!r}")
+
+        send({"id": 1, "cmd": "ping"})
+        if not readline().get("pong"):
+            return TestResult(name, False, "ping was not answered with pong")
+
+        # Cold request computes; the identical warm request must hit and
+        # return a bit-identical result document.
+        request = {"id": 2, "apps": ["fft"], "scale": 0.01, "seed": 7}
+        send(request)
+        cold = readline()
+        cold_done = readline()
+        if cold.get("cache_hit") is not False or "result" not in cold:
+            return TestResult(name, False, f"bad cold response: {cold!r}")
+        if cold_done.get("cache_misses") != 1:
+            return TestResult(name, False, f"bad cold summary: {cold_done!r}")
+        send(request)
+        warm = readline()
+        warm_done = readline()
+        if warm.get("cache_hit") is not True:
+            return TestResult(name, False, f"warm request missed: {warm!r}")
+        if warm["result"] != cold["result"]:
+            return TestResult(name, False,
+                              "warm result differs from cold result")
+        if warm_done.get("cache_misses") != 0:
+            return TestResult(name, False, f"bad warm summary: {warm_done!r}")
+
+        # A wedged job (micro watchdog budget) must come back as a
+        # structured error — and the server must keep serving afterwards.
+        send({"id": 3, "apps": ["fft"], "scale": 0.01, "seed": 8,
+              "timeout_seconds": 1e-6})
+        wedged = readline()
+        wedged_done = readline()
+        if "watchdog" not in wedged.get("error", ""):
+            return TestResult(name, False, f"no watchdog error: {wedged!r}")
+        if wedged_done.get("errors") != 1:
+            return TestResult(name, False,
+                              f"bad wedged summary: {wedged_done!r}")
+
+        # service.* probes must agree with the provenance seen above:
+        # 2 misses (cold + wedged), 1 hit (warm), 1 job error.
+        send({"id": 4, "cmd": "stats"})
+        stats = readline().get("stats", {})
+        expected = {"service.misses": 2, "service.hits": 1,
+                    "service.computed": 2, "service.job_errors": 1,
+                    "service.queue_depth": 0}
+        for key, want in expected.items():
+            if stats.get(key) != want:
+                return TestResult(
+                    name, False,
+                    f"{key}={stats.get(key)!r}, want {want} ({stats!r})")
+
+        send({"id": 5, "cmd": "shutdown"})
+        if not readline().get("bye"):
+            return TestResult(name, False, "shutdown was not acknowledged")
+        rc = proc.wait(timeout=TIMEOUT)
+        if rc != 0:
+            return TestResult(name, False, f"server exited {rc}")
+        return TestResult(name, True, "ready/ping/run/warm/wedge/stats/bye ok")
+    except (RuntimeError, ValueError, OSError,
+            subprocess.TimeoutExpired) as e:
+        return TestResult(name, False, f"{e} (stderr: "
+                          f"{proc.stderr.read()[:300] if proc.stderr else ''})")
+    finally:
+        killer.cancel()
+        proc.kill()
+
+
+def serve_tests(binary):
+    """Sweep-service contract: batch cold/warm determinism over a pipe, an
+    interactive serve session, and the unwritable-cache-dir error path."""
+    results = []
+    requests = ('{"id":1,"apps":["fft"],"scale":0.01,"seed":7}\n'
+                '{"id":2,"apps":["radix"],"scale":0.01,"seed":7}\n')
+    with tempfile.TemporaryDirectory(prefix="mot3d_serve_soak.") as tmp:
+        cache = os.path.join(tmp, "cache")
+        cold = run_test(
+            binary, "batch over a pipe: cold run computes everything",
+            ["batch", f"--cache-dir={cache}"],
+            input_text=requests,
+            expect_patterns=[r'"cache_misses": 2, "computed": 2, "errors": 0'],
+            forbid_patterns=[r'"cache_hit": true'])
+        results.append(cold)
+        warm = run_test(
+            binary, "batch over a pipe: warm run recomputes nothing",
+            ["batch", f"--cache-dir={cache}"],
+            input_text=requests,
+            expect_patterns=[r'"cache_misses": 0, "computed": 0, "errors": 0'],
+            forbid_patterns=[r'"cache_hit": false'])
+        results.append(warm)
+        # A fresh cache dir: the session's cold/warm expectations must not
+        # be satisfied by entries the batch tests above already stored.
+        results.append(serve_session(binary, os.path.join(tmp, "serve_cache")))
+    results.append(run_test(
+        binary, "unwritable cache dir is one clean error",
+        ["batch", "--cache-dir=/dev/null/sub"],
+        input_text="",
+        expect_exit="nonzero",
+        expect_patterns=[
+            r"error: cache directory '/dev/null/sub' is not writable"]))
+    return results
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", default="./mot3d_experiments")
@@ -469,6 +607,9 @@ def main():
     parser.add_argument("--bench-binary", default="./bench_scale")
     parser.add_argument("--obs", action="store_true",
                         help="also exercise the observability contract")
+    parser.add_argument("--serve", action="store_true",
+                        help="also exercise the sweep-service serve/batch "
+                             "contract")
     opts = parser.parse_args()
 
     results = smoke_tests(opts.binary)
@@ -478,6 +619,8 @@ def main():
         results += bench_tests(opts.bench_binary)
     if opts.obs:
         results += obs_tests(opts.binary)
+    if opts.serve:
+        results += serve_tests(opts.binary)
 
     print("\n==== soak harness summary ====")
     failures = 0

@@ -1,0 +1,557 @@
+// Sweep service: content-addressed caching must be invisible except for
+// speed.  The properties pinned here are the service's whole contract:
+//  * the spec hash is byte-stable — permuting request-axis value order or
+//    request-field order never changes it, changing any modeled input
+//    always does;
+//  * a cache hit is bit-identical to recomputation (including across the
+//    scheduler axis, which is deliberately not part of the key);
+//  * concurrent batches compute each unique spec exactly once;
+//  * truncated / tampered entries are detected and recomputed, never
+//    served; errors are never cached; unwritable dirs fail loudly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/sha256.hpp"
+#include "sim/json_reader.hpp"
+#include "sim/scenario_registry.hpp"
+#include "sim/sweep_service.hpp"
+
+namespace mot3d::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small, fast job: fft on the paper config at reduced scale.
+SweepJob make_job(const std::string& app, double scale = 0.01) {
+  SweepJob j;
+  j.run.app = app;
+  j.scale = scale;
+  j.seed = 7;
+  return j;
+}
+
+/// Fresh cache directory per test so entries never leak across cases.
+class SweepServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("sweep_cache_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ServiceConfig config() const {
+    ServiceConfig cfg;
+    cfg.cache_dir = dir_.string();
+    cfg.threads = 2;
+    return cfg;
+  }
+
+  static SweepJob job(const std::string& app, double scale = 0.01) {
+    return make_job(app, scale);
+  }
+
+  fs::path entry_file() const {
+    for (const fs::directory_entry& e : fs::directory_iterator(dir_)) {
+      if (e.path().extension() == ".entry") return e.path();
+    }
+    ADD_FAILURE() << "no .entry file in " << dir_;
+    return {};
+  }
+
+  fs::path dir_;
+};
+
+// ---- SHA-256 ---------------------------------------------------------------
+
+TEST(Sha256, Fips180KnownVectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // Exercise the two-tail-block padding path (length 56..63 mod 64).
+  EXPECT_EQ(sha256_hex(std::string(56, 'a')).size(), 64u);
+  EXPECT_NE(sha256_hex(std::string(64, 'a')), sha256_hex(std::string(65, 'a')));
+}
+
+// ---- spec hash stability ---------------------------------------------------
+
+TEST(SpecHash, RequestAxisOrderAndFieldOrderDoNotMatter) {
+  // Same grid, permuted axis-value order AND permuted JSON field order:
+  // the canonicalisation must make the hash sets identical.
+  const ServiceRequest a = parse_service_request(
+      R"({"apps":["fft","radix"],"fabrics":["mot","mesh3d"],"scale":0.01,"seed":3})");
+  const ServiceRequest b = parse_service_request(
+      R"({"seed":3,"fabrics":["mesh3d","mot"],"scale":0.01,"apps":["radix","fft"]})");
+  ASSERT_EQ(a.jobs.size(), 4u);
+  ASSERT_EQ(b.jobs.size(), 4u);
+  std::set<std::string> ha, hb;
+  for (const SweepJob& j : a.jobs) ha.insert(job_hash(j));
+  for (const SweepJob& j : b.jobs) hb.insert(job_hash(j));
+  EXPECT_EQ(ha, hb);
+  EXPECT_EQ(ha.size(), 4u) << "distinct cells must hash distinctly";
+}
+
+TEST(SpecHash, EverySingleModeledFieldChangesTheHash) {
+  SweepJob base;
+  base.run.app = "fft";
+  base.scale = 0.01;
+  base.seed = 7;
+  const std::string h0 = job_hash(base);
+
+  std::vector<std::pair<const char*, SweepJob>> variants;
+  variants.reserve(16);
+  {
+    SweepJob j = base;
+    j.run.app = "radix";
+    variants.emplace_back("app", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.fabric = cluster::Fabric::kTrueMesh3d;
+    variants.emplace_back("fabric", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.state = power_state_by_name("PC8-MB16");
+    variants.emplace_back("power state", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.dram = mem::DramPreset::kWideIo_63ns;
+    variants.emplace_back("dram preset", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.dram_backend = DramBackendMode::kStacked;
+    variants.emplace_back("dram backend", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.thermal.enabled = true;
+    variants.emplace_back("thermal enabled", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.thermal.ambient_c = 55.0;
+    variants.emplace_back("thermal ambient", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.thermal.ceiling_c = 75.0;
+    variants.emplace_back("thermal ceiling", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.fault.enabled = true;
+    variants.emplace_back("fault enabled", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.fault.tsv_fault_rate = 0.5;
+    variants.emplace_back("tsv fault rate", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.fault.bank_fault_rate = 0.5;
+    variants.emplace_back("bank fault rate", j);
+  }
+  {
+    SweepJob j = base;
+    j.run.fault.seed = 99;
+    variants.emplace_back("fault seed", j);
+  }
+  {
+    SweepJob j = base;
+    j.scale = 0.02;
+    variants.emplace_back("scale", j);
+  }
+  {
+    SweepJob j = base;
+    j.seed = 8;
+    variants.emplace_back("seed", j);
+  }
+  std::set<std::string> seen{h0};
+  for (const auto& [field, j] : variants) {
+    const std::string h = job_hash(j);
+    EXPECT_NE(h, h0) << "changing " << field << " must change the hash";
+    EXPECT_TRUE(seen.insert(h).second)
+        << field << " collided with another variant";
+  }
+}
+
+TEST(SpecHash, WatchdogBudgetIsNotPartOfTheKey) {
+  // The watchdog only bounds recomputation; errors are never cached, so a
+  // different budget must still address the same cached result.
+  SweepJob a = make_job("fft");
+  SweepJob b = a;
+  b.timeout_seconds = 30.0;
+  EXPECT_EQ(job_hash(a), job_hash(b));
+}
+
+TEST(SpecHash, CanonicalJsonIsByteStable) {
+  const SweepJob j = make_job("fft");
+  const std::string doc = canonical_job_json(j);
+  EXPECT_EQ(doc, canonical_job_json(j));
+  EXPECT_EQ(job_hash(j), sha256_hex(doc));
+  // Field order is part of the format: pin the prefix so an accidental
+  // reordering (which would orphan every existing cache) fails here.
+  EXPECT_EQ(doc.rfind(R"({"format": 1, "app": "fft", "fabric": "mot")", 0), 0u)
+      << doc;
+}
+
+// ---- cache behaviour -------------------------------------------------------
+
+TEST_F(SweepServiceTest, ColdThenWarmIsBitIdenticalWithZeroRecompute) {
+  SweepService service(config());
+  const std::vector<SweepJob> jobs = {job("fft"), job("radix")};
+  const std::vector<JobOutcome> cold = service.run_batch(jobs);
+  ASSERT_EQ(cold.size(), 2u);
+  for (const JobOutcome& o : cold) {
+    ASSERT_TRUE(o.ok()) << o.error;
+    EXPECT_FALSE(o.cache_hit);
+    EXPECT_FALSE(o.payload.empty());
+  }
+  const std::vector<JobOutcome> warm = service.run_batch(jobs);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    ASSERT_TRUE(warm[i].ok());
+    EXPECT_TRUE(warm[i].cache_hit);
+    EXPECT_EQ(warm[i].payload, cold[i].payload) << "hit must be bit-identical";
+    EXPECT_EQ(warm[i].spec_hash, cold[i].spec_hash);
+  }
+  const obs::ServiceSnapshot s = service.counters().snapshot();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.computed, 2u) << "warm pass must recompute nothing";
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.queue_depth, 0);
+}
+
+TEST_F(SweepServiceTest, SchedulerIsNotPartOfTheKeyAndHitsAreBitIdentical) {
+  ServiceConfig event_cfg = config();
+  event_cfg.scheduler = cluster::SchedulerMode::kEventDriven;
+  std::string computed;
+  {
+    SweepService service(event_cfg);
+    const auto out = service.run_batch({job("fft")});
+    ASSERT_TRUE(out[0].ok()) << out[0].error;
+    computed = out[0].payload;
+  }
+  ServiceConfig dense_cfg = config();
+  dense_cfg.scheduler = cluster::SchedulerMode::kDenseTick;
+  SweepService service(dense_cfg);
+  const auto out = service.run_batch({job("fft")});
+  ASSERT_TRUE(out[0].ok());
+  EXPECT_TRUE(out[0].cache_hit)
+      << "dense-tick must be served by the event-driven entry";
+  EXPECT_EQ(out[0].payload, computed);
+  EXPECT_EQ(service.counters().snapshot().computed, 0u);
+}
+
+TEST_F(SweepServiceTest, DuplicateJobsInOneBatchComputeOnce) {
+  SweepService service(config());
+  const auto out = service.run_batch({job("fft"), job("fft"), job("fft")});
+  ASSERT_EQ(out.size(), 3u);
+  for (const JobOutcome& o : out) {
+    ASSERT_TRUE(o.ok());
+    EXPECT_EQ(o.payload, out[0].payload);
+    EXPECT_EQ(o.spec_hash, out[0].spec_hash);
+  }
+  const obs::ServiceSnapshot s = service.counters().snapshot();
+  EXPECT_EQ(s.computed, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST_F(SweepServiceTest, ConcurrentClientsComputeEachJobExactlyOnce) {
+  SweepService service(config());
+  const std::vector<SweepJob> jobs = {job("fft", 0.005), job("radix", 0.005),
+                                      job("volrend", 0.005)};
+  constexpr int kClients = 4;
+  std::vector<std::vector<JobOutcome>> results(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back(
+          [&, c] { results[c] = service.run_batch(jobs); });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  std::uint64_t response_misses = 0;
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(results[c].size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      ASSERT_TRUE(results[c][i].ok()) << results[c][i].error;
+      EXPECT_EQ(results[c][i].payload, results[0][i].payload)
+          << "client " << c << " job " << i;
+      if (!results[c][i].cache_hit) ++response_misses;
+    }
+  }
+  // Cross-check per-response provenance against the service.* probes:
+  // every unique spec computed exactly once, every other serve was a hit.
+  const obs::ServiceSnapshot s = service.counters().snapshot();
+  EXPECT_EQ(s.computed, jobs.size());
+  EXPECT_EQ(s.misses, jobs.size());
+  EXPECT_EQ(response_misses, jobs.size());
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kClients - 1) * jobs.size());
+  EXPECT_EQ(s.queue_depth, 0);
+  EXPECT_EQ(s.job_errors, 0u);
+}
+
+// ---- corruption + error paths ----------------------------------------------
+
+TEST_F(SweepServiceTest, TruncatedEntryIsRecomputedAndRewritten) {
+  SweepService service(config());
+  const auto cold = service.run_batch({job("fft")});
+  ASSERT_TRUE(cold[0].ok());
+  const fs::path entry = entry_file();
+  fs::resize_file(entry, fs::file_size(entry) / 2);
+
+  const auto recomputed = service.run_batch({job("fft")});
+  ASSERT_TRUE(recomputed[0].ok());
+  EXPECT_FALSE(recomputed[0].cache_hit) << "a truncated entry was served";
+  EXPECT_EQ(recomputed[0].payload, cold[0].payload);
+  EXPECT_EQ(service.counters().snapshot().corrupt_entries, 1u);
+
+  // The rewrite must restore a servable entry.
+  const auto warm = service.run_batch({job("fft")});
+  EXPECT_TRUE(warm[0].cache_hit);
+  EXPECT_EQ(warm[0].payload, cold[0].payload);
+}
+
+TEST_F(SweepServiceTest, TamperedPayloadFailsItsHashAndIsNeverServed) {
+  SweepService service(config());
+  const auto cold = service.run_batch({job("fft")});
+  ASSERT_TRUE(cold[0].ok());
+  const fs::path entry = entry_file();
+  // Flip one payload byte without changing the length: only the payload
+  // hash can catch this.
+  std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-1, std::ios::end);
+  f.put('X');
+  f.close();
+
+  const auto recomputed = service.run_batch({job("fft")});
+  ASSERT_TRUE(recomputed[0].ok());
+  EXPECT_FALSE(recomputed[0].cache_hit) << "a tampered entry was served";
+  EXPECT_EQ(recomputed[0].payload, cold[0].payload);
+  EXPECT_GE(service.counters().snapshot().corrupt_entries, 1u);
+}
+
+TEST_F(SweepServiceTest, ErrorsAreNeverCached) {
+  SweepService service(config());
+  SweepJob wedged = job("fft");
+  wedged.timeout_seconds = 1e-6;  // watchdog kills the run immediately
+  const auto failed = service.run_batch({wedged});
+  ASSERT_FALSE(failed[0].ok());
+  EXPECT_FALSE(failed[0].cache_hit);
+  EXPECT_NE(failed[0].error.find("watchdog"), std::string::npos)
+      << failed[0].error;
+  EXPECT_EQ(service.cache_stats().entries, 0u) << "an error was cached";
+  EXPECT_EQ(service.counters().snapshot().job_errors, 1u);
+
+  // Same spec without the budget: computes fresh (nothing was cached).
+  const auto ok = service.run_batch({job("fft")});
+  ASSERT_TRUE(ok[0].ok());
+  EXPECT_FALSE(ok[0].cache_hit);
+}
+
+TEST_F(SweepServiceTest, EvictionKeepsTheCacheUnderItsByteCap) {
+  ServiceConfig cfg = config();
+  cfg.max_cache_bytes = 1;  // every store immediately over-caps
+  SweepService service(cfg);
+  const auto out = service.run_batch({job("fft"), job("radix")});
+  ASSERT_TRUE(out[0].ok());
+  ASSERT_TRUE(out[1].ok());
+  EXPECT_LE(service.cache_stats().entries, 1u);
+  EXPECT_GE(service.counters().snapshot().evictions, 1u);
+}
+
+TEST(SweepServiceConstruct, UnwritableCacheDirThrowsOneCleanError) {
+  // /dev/null/sub cannot be created even by root (unlike /nonexistent/...).
+  ServiceConfig cfg;
+  cfg.cache_dir = "/dev/null/sub";
+  EXPECT_THROW(SweepService{cfg}, std::runtime_error);
+  cfg.cache_dir = "";
+  EXPECT_THROW(SweepService{cfg}, std::runtime_error);
+}
+
+// ---- request protocol ------------------------------------------------------
+
+TEST(ServiceRequestParse, ScenarioRequestsUseGoldenOptions) {
+  const ServiceRequest req =
+      parse_service_request(R"({"id":9,"scenario":"fig6b_exec_time"})");
+  ASSERT_FALSE(req.jobs.empty());
+  const ScenarioSpec* spec = find_scenario("fig6b_exec_time");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(req.jobs.size(), expand_grid(*spec).size());
+  EXPECT_EQ(req.jobs.front().scale, spec->golden_scale);
+  EXPECT_EQ(req.jobs.front().seed, spec->seed);
+  EXPECT_EQ(req.id, "9");
+}
+
+TEST(ServiceRequestParse, MalformedRequestsThrowWithOneLineReasons) {
+  EXPECT_THROW(parse_service_request("not json"), std::invalid_argument);
+  EXPECT_THROW(parse_service_request("[1,2]"), std::invalid_argument);
+  EXPECT_THROW(parse_service_request(R"({"frobnicate":1})"),
+               std::invalid_argument);  // unknown field
+  EXPECT_THROW(parse_service_request(R"({"cmd":"dance"})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_service_request(R"({"cmd":"ping","apps":["fft"]})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_service_request(R"({"scenario":"fig6b_exec_time","apps":["fft"]})"),
+      std::invalid_argument);  // mixing shapes
+  EXPECT_THROW(parse_service_request(R"({"scenario":"no_such"})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_service_request(R"({"scenario":"fig5_wire_lengths"})"),
+               std::invalid_argument);  // timing scenario: nothing to memoize
+  EXPECT_THROW(parse_service_request(R"({"apps":["notanapp"]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_service_request(R"({"apps":[]})"), std::invalid_argument);
+  EXPECT_THROW(parse_service_request(R"({"apps":["fft"],"scale":-1})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_service_request(R"({"apps":["fft"],"seed":1.5})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_service_request(R"({"apps":["fft"],"timeout_seconds":-1})"),
+      std::invalid_argument);
+  EXPECT_THROW(parse_service_request(R"({"id":[1],"apps":["fft"]})"),
+               std::invalid_argument);  // non-scalar id
+}
+
+// ---- the loop, end to end over stringstreams -------------------------------
+
+namespace {
+std::vector<JsonValue> parse_lines(const std::string& text) {
+  std::vector<JsonValue> docs;
+  std::istringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    std::optional<JsonValue> doc = JsonReader(line).parse();
+    EXPECT_TRUE(doc.has_value()) << "unparseable response line: " << line;
+    if (doc) docs.push_back(std::move(*doc));
+  }
+  return docs;
+}
+
+const JsonValue* field(const JsonValue& doc, const char* key) {
+  return doc.find(key);
+}
+}  // namespace
+
+TEST_F(SweepServiceTest, ServeLoopAnswersReadyPingRunStatsShutdown) {
+  SweepService service(config());
+  std::istringstream in(
+      "{\"id\":1,\"cmd\":\"ping\"}\n"
+      "{\"id\":2,\"apps\":[\"fft\"],\"scale\":0.01,\"seed\":7}\n"
+      "{\"id\":3,\"cmd\":\"stats\"}\n"
+      "{\"id\":4,\"cmd\":\"shutdown\"}\n"
+      "{\"id\":5,\"cmd\":\"ping\"}\n");  // after shutdown: must not run
+  std::ostringstream out;
+  EXPECT_EQ(service_loop(in, out, service, ServiceLoopMode::kServe), 0);
+
+  const std::vector<JsonValue> docs = parse_lines(out.str());
+  ASSERT_EQ(docs.size(), 6u) << out.str();  // ready,pong,job,done,stats,bye
+  EXPECT_NE(field(docs[0], "ready"), nullptr);
+  EXPECT_NE(field(docs[1], "pong"), nullptr);
+  ASSERT_NE(field(docs[2], "spec_hash"), nullptr);
+  EXPECT_EQ(field(docs[2], "cache_hit")->boolean, false);
+  ASSERT_NE(field(docs[2], "result"), nullptr);
+  EXPECT_EQ(field(docs[2], "result")->type, JsonValue::Type::kObject);
+  ASSERT_NE(field(docs[3], "done"), nullptr);
+  EXPECT_EQ(field(docs[3], "cache_misses")->number, 1.0);
+  ASSERT_NE(field(docs[4], "stats"), nullptr);
+  EXPECT_EQ(field(*field(docs[4], "stats"), "service.computed")->number, 1.0);
+  EXPECT_NE(field(docs[5], "bye"), nullptr);
+}
+
+TEST_F(SweepServiceTest, BatchLoopExitsNonZeroOnProtocolOrJobErrors) {
+  SweepService service(config());
+  {
+    std::istringstream in("this is not json\n");
+    std::ostringstream out;
+    EXPECT_EQ(service_loop(in, out, service, ServiceLoopMode::kBatch), 1);
+    const std::vector<JsonValue> docs = parse_lines(out.str());
+    ASSERT_EQ(docs.size(), 2u);  // error line + batch_done
+    EXPECT_NE(field(docs[0], "error"), nullptr);
+    EXPECT_EQ(field(docs[1], "protocol_errors")->number, 1.0);
+  }
+  {
+    // A wedged job (absurd watchdog budget) must yield a structured error
+    // response AND a non-zero batch exit — never a wedged process.
+    std::istringstream in(
+        "{\"apps\":[\"fft\"],\"scale\":0.01,\"timeout_seconds\":0.000001}\n");
+    std::ostringstream out;
+    EXPECT_EQ(service_loop(in, out, service, ServiceLoopMode::kBatch), 1);
+    const std::vector<JsonValue> docs = parse_lines(out.str());
+    ASSERT_EQ(docs.size(), 3u);  // job error + done + batch_done
+    ASSERT_NE(field(docs[0], "error"), nullptr);
+    EXPECT_NE(field(docs[0], "error")->string.find("watchdog"),
+              std::string::npos);
+    EXPECT_EQ(field(docs[1], "errors")->number, 1.0);
+  }
+}
+
+TEST_F(SweepServiceTest, WarmBatchReportsZeroMissesByteIdentically) {
+  // The CI smoke in script form: same requests, cold then warm, responses
+  // byte-identical and the warm summary reports zero misses.
+  const std::string requests =
+      "{\"id\":1,\"apps\":[\"fft\",\"radix\"],\"scale\":0.01,\"seed\":7}\n";
+  std::string cold_text, warm_text;
+  {
+    SweepService service(config());
+    std::istringstream in(requests);
+    std::ostringstream out;
+    EXPECT_EQ(service_loop(in, out, service, ServiceLoopMode::kBatch), 0);
+    cold_text = out.str();
+  }
+  {
+    SweepService service(config());
+    std::istringstream in(requests);
+    std::ostringstream out;
+    EXPECT_EQ(service_loop(in, out, service, ServiceLoopMode::kBatch), 0);
+    warm_text = out.str();
+  }
+  EXPECT_NE(cold_text.find("\"cache_misses\": 2"), std::string::npos);
+  EXPECT_NE(warm_text.find("\"cache_misses\": 0"), std::string::npos);
+  EXPECT_NE(warm_text.find("\"cache_hits\": 2"), std::string::npos);
+  // Every response line must be byte-identical once the one legitimate
+  // difference — the cache_hit provenance flag — is normalised away.
+  auto normalize = [](const std::string& text) {
+    std::vector<std::string> lines;
+    std::istringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) {
+      if (line.find("\"spec_hash\"") == std::string::npos) continue;
+      const std::string from = "\"cache_hit\": true";
+      const std::size_t at = line.find(from);
+      if (at != std::string::npos) {
+        line.replace(at, from.size(), "\"cache_hit\": false");
+      }
+      lines.push_back(line);
+    }
+    return lines;
+  };
+  const std::vector<std::string> cold_lines = normalize(cold_text);
+  const std::vector<std::string> warm_lines = normalize(warm_text);
+  ASSERT_EQ(cold_lines.size(), 2u);
+  ASSERT_EQ(warm_lines.size(), 2u);
+  for (std::size_t i = 0; i < cold_lines.size(); ++i) {
+    EXPECT_EQ(cold_lines[i], warm_lines[i]) << "warm line " << i
+                                            << " is not bit-identical";
+  }
+}
+
+}  // namespace
+}  // namespace mot3d::sim
